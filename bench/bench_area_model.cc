@@ -1,0 +1,38 @@
+/**
+ * @file
+ * §8 "Energy and Area": chip area accounting — in-memory compute
+ * enhancement (sense amps, write drivers, second decoder, PEs) and
+ * near-memory support logic on the McPAT baseline.
+ */
+
+#include <cstdio>
+
+#include "energy/energy.hh"
+#include "sim/config.hh"
+
+using namespace infs;
+
+int
+main()
+{
+    AreaModel area;
+    SystemConfig cfg = defaultSystemConfig();
+    std::printf("Area model (22 nm)\n");
+    std::printf("baseline CPU (McPAT):        %8.2f mm^2\n",
+                area.baselineMm2);
+    std::printf("in-memory compute overhead:  %8.2f mm^2 (paper: 66.75)\n",
+                area.inMemoryMm2);
+    std::printf("near-memory support logic:   %8.2f mm^2 (paper: 28.16)\n",
+                area.nearMemoryMm2);
+    std::printf("total chip:                  %8.2f mm^2\n",
+                area.totalMm2());
+    std::printf("whole-chip overhead:         %8.2f %% (paper: 6.52%%)\n",
+                100.0 * area.overheadFraction());
+    std::printf("\nper-array amortization: %llu compute arrays -> %.1f "
+                "um^2 of compute overhead per 8 kB array\n",
+                static_cast<unsigned long long>(
+                    cfg.l3.totalComputeArrays()),
+                1e6 * area.inMemoryMm2 /
+                    double(cfg.l3.totalComputeArrays()));
+    return 0;
+}

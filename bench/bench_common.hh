@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: the Table 3 workload
+ * roster at the paper's input sizes, paradigm runners, and table printing.
+ * All benches run timing-only (functional correctness is covered by the
+ * test suite at reduced sizes).
+ */
+
+#ifndef INFS_BENCH_COMMON_HH
+#define INFS_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "workloads/pointnet.hh"
+#include "workloads/workloads.hh"
+
+namespace infs {
+namespace bench {
+
+/** A named workload factory (so each run gets a fresh system). */
+struct Entry {
+    std::string name;
+    std::function<Workload()> make;
+};
+
+/** Fig 11/12/14/18's ten benchmarks at Table 3 sizes. For mm, kmeans,
+ * and gather_mlp the best dataflow per paradigm is chosen by the caller
+ * (see fig15 for the comparison); here the factories return the
+ * Inf-S-preferred outer form. */
+inline std::vector<Entry>
+table3Workloads()
+{
+    return {
+        {"stencil1d", [] { return makeStencil1d(4 << 20, 10); }},
+        {"stencil2d", [] { return makeStencil2d(2048, 2048, 10); }},
+        {"stencil3d", [] { return makeStencil3d(512, 512, 16, 10); }},
+        {"dwt2d", [] { return makeDwt2d(2048, 2048); }},
+        {"gauss_elim", [] { return makeGaussElim(2048); }},
+        {"conv2d", [] { return makeConv2d(2048, 2048); }},
+        {"conv3d", [] { return makeConv3d(256, 256, 64, 64); }},
+        {"mm", [] { return makeMm(2048, 2048, 2048, true); }},
+        {"kmeans", [] { return makeKmeans(32 << 10, 128, 128, true); }},
+        {"gather_mlp",
+         [] { return makeGatherMlp(32 << 10, 128, 128, 64 << 10, true); }},
+    };
+}
+
+/** The 13 implementation variants of Fig 13/14/16 (in/out split out). */
+inline std::vector<Entry>
+table3Variants()
+{
+    return {
+        {"stencil1d", [] { return makeStencil1d(4 << 20, 10); }},
+        {"stencil2d", [] { return makeStencil2d(2048, 2048, 10); }},
+        {"stencil3d", [] { return makeStencil3d(512, 512, 16, 10); }},
+        {"dwt2d", [] { return makeDwt2d(2048, 2048); }},
+        {"gauss_elim", [] { return makeGaussElim(2048); }},
+        {"conv2d", [] { return makeConv2d(2048, 2048); }},
+        {"conv3d", [] { return makeConv3d(256, 256, 64, 64); }},
+        {"mm/in", [] { return makeMm(2048, 2048, 2048, false); }},
+        {"mm/out", [] { return makeMm(2048, 2048, 2048, true); }},
+        {"kmeans/in", [] { return makeKmeans(32 << 10, 128, 128, false); }},
+        {"kmeans/out", [] { return makeKmeans(32 << 10, 128, 128, true); }},
+        {"gather_mlp/in",
+         [] { return makeGatherMlp(32 << 10, 128, 128, 64 << 10, false); }},
+        {"gather_mlp/out",
+         [] { return makeGatherMlp(32 << 10, 128, 128, 64 << 10, true); }},
+    };
+}
+
+/** Run @p w on a fresh Table 2 system under @p p (timing-only). */
+inline ExecStats
+run(Paradigm p, const Workload &w)
+{
+    InfinitySystem sys;
+    Executor exec(sys, p);
+    return exec.run(w);
+}
+
+/** Run and keep the faster of the inner/outer dataflow (the paper picks
+ * the best implementation per configuration, §7). */
+inline ExecStats
+runBest(Paradigm p, const std::function<Workload(bool)> &make)
+{
+    ExecStats in = run(p, make(false));
+    ExecStats out = run(p, make(true));
+    return in.cycles <= out.cycles ? in : out;
+}
+
+/** Geometric mean. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return v.empty() ? 0.0 : std::exp(acc / double(v.size()));
+}
+
+/** Print a table header: name column plus the given column labels. */
+inline void
+printHeader(const char *title, const std::vector<std::string> &cols)
+{
+    std::printf("\n=== %s ===\n%-16s", title, "benchmark");
+    for (const auto &c : cols)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &vals,
+         const char *fmt = " %12.2f")
+{
+    std::printf("%-16s", name.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace infs
+
+#endif // INFS_BENCH_COMMON_HH

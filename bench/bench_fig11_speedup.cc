@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig 11: overall speedup of Near-L3 / In-L3 / Inf-S / Inf-S-noJIT over
+ * the multicore Base across the ten Table 3 benchmarks, with geomean.
+ * For mm/kmeans/gather_mlp the best dataflow is chosen per configuration
+ * (§7), mirroring the paper's methodology.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 11: Overall Speedup (over 64-thread Base)\n");
+    std::printf("%s\n", defaultSystemConfig().summary().c_str());
+    printHeader("speedup",
+                {"Base", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"});
+
+    // Dataflow-flexible workloads get best-of-both per paradigm.
+    auto mm = [](bool outer) { return makeMm(2048, 2048, 2048, outer); };
+    auto km = [](bool outer) {
+        return makeKmeans(32 << 10, 128, 128, outer);
+    };
+    auto gm = [](bool outer) {
+        return makeGatherMlp(32 << 10, 128, 128, 64 << 10, outer);
+    };
+
+    struct Flexible {
+        std::string name;
+        std::function<Workload(bool)> make;
+    };
+    std::vector<Flexible> flexible{{"mm", mm}, {"kmeans", km},
+                                   {"gather_mlp", gm}};
+
+    std::vector<Paradigm> configs{Paradigm::Base, Paradigm::NearL3,
+                                  Paradigm::InL3, Paradigm::InfS,
+                                  Paradigm::InfSNoJit};
+    std::vector<std::vector<double>> speedups(configs.size());
+
+    for (const Entry &e : table3Workloads()) {
+        bool flex = false;
+        for (const Flexible &f : flexible)
+            flex |= (f.name == e.name);
+        std::vector<double> row;
+        double base = 0.0;
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            ExecStats st;
+            if (flex) {
+                for (const Flexible &f : flexible)
+                    if (f.name == e.name)
+                        st = runBest(configs[c], f.make);
+            } else {
+                st = run(configs[c], e.make());
+            }
+            if (c == 0)
+                base = double(st.cycles);
+            double sp = base / double(st.cycles);
+            row.push_back(sp);
+            speedups[c].push_back(sp);
+        }
+        printRow(e.name, row);
+    }
+    std::vector<double> gm_row;
+    for (auto &v : speedups)
+        gm_row.push_back(geomean(v));
+    printRow("geomean", gm_row);
+
+    std::printf("\npaper: Near-L3 2.0x, In-L3 %.1fx over Near-L3 (paper "
+                "2.1x), Inf-S %.1fx over Near-L3 (paper 2.6x), noJIT +%.0f%%"
+                " over Inf-S (paper +19%%)\n",
+                gm_row[2] / gm_row[1], gm_row[3] / gm_row[1],
+                100.0 * (gm_row[4] / gm_row[3] - 1.0));
+    return 0;
+}

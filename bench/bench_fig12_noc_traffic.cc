@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig 12: NoC traffic breakdown (control / data / offload, normalized to
+ * Base) and NoC utilization (dots) for Base, Near-L3, and Inf-S.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 12: NoC Traffic Breakdown (bytes-x-hops, normalized "
+                "to Base) and Utilization\n");
+    std::printf("%-16s %-12s %10s %10s %10s %10s %8s\n", "benchmark",
+                "config", "control", "data", "offload", "total", "util");
+
+    double base_total_sum = 0.0, near_total_sum = 0.0, infs_total_sum = 0.0;
+    for (const Entry &e : table3Workloads()) {
+        double base_total = 1.0;
+        for (Paradigm p :
+             {Paradigm::Base, Paradigm::NearL3, Paradigm::InfS}) {
+            ExecStats st = run(p, e.make());
+            double control =
+                st.nocHopBytes[unsigned(TrafficClass::Control)];
+            double data = st.nocHopBytes[unsigned(TrafficClass::Data)];
+            double offload =
+                st.nocHopBytes[unsigned(TrafficClass::Offload)] +
+                st.nocHopBytes[unsigned(TrafficClass::InterTile)];
+            double total = control + data + offload;
+            if (p == Paradigm::Base) {
+                base_total = total > 0 ? total : 1.0;
+                base_total_sum += 1.0;
+            } else if (p == Paradigm::NearL3) {
+                near_total_sum += total / base_total;
+            } else {
+                infs_total_sum += total / base_total;
+            }
+            std::printf("%-16s %-12s %10.3f %10.3f %10.3f %10.3f %7.1f%%\n",
+                        p == Paradigm::Base ? e.name.c_str() : "",
+                        paradigmName(p), control / base_total,
+                        data / base_total, offload / base_total,
+                        total / base_total, 100.0 * st.nocUtilization);
+        }
+    }
+    unsigned n = static_cast<unsigned>(table3Workloads().size());
+    std::printf("\navg traffic vs Base: Near-L3 %.2f (paper 0.71), "
+                "Inf-S %.2f (paper 0.10)\n",
+                near_total_sum / n, infs_total_sum / n);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 14: Inf-S cycle breakdown — DRAM (fetch+transpose), JIT lowering,
+ * tensor moves, bit-serial compute, final reduce, hybrid mix, pure
+ * near-memory — plus the fraction of ops executed in-memory (the dots).
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 14: Inf-S Cycle Breakdown (fraction of total)\n");
+    std::printf("%-16s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n", "benchmark",
+                "dram", "jit", "move", "compute", "finred", "mix", "near",
+                "core", "inmem%");
+    double sum_dram = 0, sum_jit = 0, sum_move = 0, sum_compute = 0;
+    unsigned n = 0;
+    for (const Entry &e : table3Variants()) {
+        ExecStats st = run(Paradigm::InfS, e.make());
+        double total = double(st.cycles);
+        if (total <= 0)
+            total = 1;
+        auto frac = [&](Tick t) { return double(t) / total; };
+        // Move/compute/sync are per-command occupancy sums; banks overlap,
+        // so scale them to fill the in-memory share of the makespan.
+        double inmem_span =
+            std::max(0.0, total - double(st.dramCycles) -
+                              double(st.jitCycles) -
+                              double(st.finalReduceCycles) -
+                              double(st.mixCycles) -
+                              double(st.nearMemCycles) -
+                              double(st.coreCycles));
+        double occupancy = double(st.moveCycles) +
+                           double(st.computeCycles) +
+                           double(st.syncCycles);
+        double scale = occupancy > 0 ? inmem_span / occupancy : 0.0;
+        std::printf(
+            "%-16s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %7.1f%%\n",
+            e.name.c_str(), frac(st.dramCycles), frac(st.jitCycles),
+            double(st.moveCycles) * scale / total,
+            double(st.computeCycles) * scale / total,
+            frac(st.finalReduceCycles), frac(st.mixCycles),
+            frac(st.nearMemCycles), frac(st.coreCycles),
+            100.0 * st.inMemOpFraction());
+        sum_dram += frac(st.dramCycles);
+        sum_jit += frac(st.jitCycles);
+        sum_move += double(st.moveCycles) * scale / total;
+        sum_compute += double(st.computeCycles) * scale / total;
+        ++n;
+    }
+    std::printf("\navg: dram %.0f%% (paper 26%%), compute %.0f%% (paper "
+                "32%%), move %.0f%% (paper 19%%), jit %.0f%% (paper 11%%)\n",
+                100.0 * sum_dram / n, 100.0 * sum_compute / n,
+                100.0 * sum_move / n, 100.0 * sum_jit / n);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 15: inner- vs outer-product dataflow for mm, kmeans, and
+ * gather_mlp on Base / Near-L3 / Inf-S, normalized to Base with the
+ * (tiled) inner-product implementation.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 15: Inner vs Outer Product Dataflow (speedup over "
+                "Base-inner)\n");
+    printHeader("speedup", {"Base-In", "Base-Out", "Near-In", "Near-Out",
+                            "InfS-In", "InfS-Out"});
+
+    struct Flexible {
+        std::string name;
+        std::function<Workload(bool)> make;
+    };
+    std::vector<Flexible> flex{
+        {"mm", [](bool o) { return makeMm(2048, 2048, 2048, o); }},
+        {"kmeans",
+         [](bool o) { return makeKmeans(32 << 10, 128, 128, o); }},
+        {"gather_mlp",
+         [](bool o) {
+             return makeGatherMlp(32 << 10, 128, 128, 64 << 10, o);
+         }},
+    };
+
+    std::vector<double> infs_out_speedups;
+    for (const Flexible &f : flex) {
+        double base_in = double(run(Paradigm::Base, f.make(false)).cycles);
+        std::vector<double> row;
+        for (Paradigm p :
+             {Paradigm::Base, Paradigm::NearL3, Paradigm::InfS}) {
+            row.push_back(base_in / double(run(p, f.make(false)).cycles));
+            row.push_back(base_in / double(run(p, f.make(true)).cycles));
+        }
+        infs_out_speedups.push_back(row.back());
+        printRow(f.name, row);
+    }
+    std::printf("\nInf-S outer geomean over Base-inner: %.1fx (paper "
+                "4.4x)\n",
+                geomean(infs_out_speedups));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig 16: Inf-S cycles vs 2-D tile size (1x256 .. 256x1) for the 2-D
+ * workloads, the tile the runtime heuristic picks, and its distance from
+ * the oracle (paper: within 2%).
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 16: Inf-S Cycles vs 2-D Tile Size (normalized to the "
+                "best tile)\n");
+
+    struct Case {
+        std::string name;
+        std::function<Workload()> make;
+    };
+    std::vector<Case> cases{
+        {"stencil2d", [] { return makeStencil2d(2048, 2048, 10); }},
+        {"dwt2d", [] { return makeDwt2d(2048, 2048); }},
+        {"gauss_elim", [] { return makeGaussElim(2048); }},
+        {"conv2d", [] { return makeConv2d(2048, 2048); }},
+        {"mm/out", [] { return makeMm(2048, 2048, 2048, true); }},
+        {"kmeans/out",
+         [] { return makeKmeans(32 << 10, 128, 128, true); }},
+        {"gather_mlp/out",
+         [] { return makeGatherMlp(32 << 10, 128, 128, 64 << 10, true); }},
+    };
+
+    std::vector<std::pair<Coord, Coord>> tiles;
+    for (Coord x = 256; x >= 1; x /= 2)
+        tiles.emplace_back(x, 256 / x);
+
+    std::printf("%-16s", "benchmark");
+    for (auto [x, y] : tiles)
+        std::printf(" %3lldx%-4lld", (long long)x, (long long)y);
+    std::printf(" %10s %8s\n", "chosen", "vs-best");
+
+    double worst_gap = 0.0;
+    for (const Case &c : cases) {
+        std::vector<double> cycles;
+        double best = 1e300;
+        for (auto [x, y] : tiles) {
+            Workload w = c.make();
+            w.forceTile = {x, y};
+            double t = double(run(Paradigm::InfS, w).cycles);
+            cycles.push_back(t);
+            best = std::min(best, t);
+        }
+        // Runtime-chosen tile.
+        Workload w = c.make();
+        ExecStats chosen = run(Paradigm::InfS, w);
+        std::printf("%-16s", c.name.c_str());
+        for (double t : cycles)
+            std::printf(" %8.2f", t / best);
+        double gap = double(chosen.cycles) / best - 1.0;
+        worst_gap = std::max(worst_gap, gap);
+        std::printf(" %6lldx%-3lld %+7.1f%%\n",
+                    chosen.chosenTile.size() > 0
+                        ? (long long)chosen.chosenTile[0] : 0LL,
+                    chosen.chosenTile.size() > 1
+                        ? (long long)chosen.chosenTile[1] : 0LL,
+                    100.0 * gap);
+    }
+    std::printf("\nworst heuristic-vs-oracle gap: %.1f%% (paper: within "
+                "2%%)\n",
+                100.0 * worst_gap);
+    return 0;
+}

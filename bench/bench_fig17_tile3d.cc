@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 17: Inf-S speedup vs 3-D tile size (X x Y x Z with X*Y*Z = 256)
+ * for stencil3d and conv3d, normalized to the 256x1x1 tile; the
+ * runtime-chosen tile is marked.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 17: Inf-S Speedup vs 3-D Tile Size (normalized to "
+                "256x1x1)\n");
+    struct Case {
+        std::string name;
+        std::function<Workload()> make;
+    };
+    std::vector<Case> cases{
+        {"stencil3d", [] { return makeStencil3d(512, 512, 16, 10); }},
+        {"conv3d", [] { return makeConv3d(256, 256, 64, 64); }},
+    };
+
+    for (const Case &c : cases) {
+        std::printf("\n%s (rows = X tile, cols = Y tile, Z = 256/X/Y):\n",
+                    c.name.c_str());
+        double base_cycles = 0.0;
+        {
+            Workload w = c.make();
+            w.forceTile = {256, 1, 1};
+            base_cycles = double(run(Paradigm::InfS, w).cycles);
+        }
+        std::printf("%8s", "X\\Y");
+        for (Coord y = 1; y <= 256; y *= 4)
+            std::printf(" %7lld", (long long)y);
+        std::printf("\n");
+        for (Coord x = 256; x >= 1; x /= 4) {
+            std::printf("%8lld", (long long)x);
+            for (Coord y = 1; y <= 256; y *= 4) {
+                if (x * y > 256) {
+                    std::printf(" %7s", "-");
+                    continue;
+                }
+                Coord z = 256 / (x * y);
+                Workload w = c.make();
+                w.forceTile = {x, y, z};
+                double t = double(run(Paradigm::InfS, w).cycles);
+                std::printf(" %7.2f", base_cycles / t);
+            }
+            std::printf("\n");
+        }
+        Workload w = c.make();
+        ExecStats chosen = run(Paradigm::InfS, w);
+        std::printf("runtime-chosen tile: ");
+        for (Coord t : chosen.chosenTile)
+            std::printf("%lld ", (long long)t);
+        std::printf("(%.2fx over 256x1x1)\n",
+                    base_cycles / double(chosen.cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig 18: energy efficiency (Base energy / config energy) for Near-L3 /
+ * In-L3 / Inf-S / Inf-S-noJIT across the Table 3 benchmarks.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 18: Energy Efficiency over Base\n");
+    printHeader("energy eff.",
+                {"Base", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"});
+    std::vector<std::vector<double>> effs(5);
+    for (const Entry &e : table3Workloads()) {
+        double base_j = run(Paradigm::Base, e.make()).energyJoules;
+        std::vector<double> row;
+        unsigned c = 0;
+        for (Paradigm p : {Paradigm::Base, Paradigm::NearL3,
+                           Paradigm::InL3, Paradigm::InfS,
+                           Paradigm::InfSNoJit}) {
+            double j = run(p, e.make()).energyJoules;
+            double eff = j > 0 ? base_j / j : 0.0;
+            row.push_back(eff);
+            effs[c++].push_back(eff);
+        }
+        printRow(e.name, row);
+    }
+    std::vector<double> gm;
+    for (auto &v : effs)
+        gm.push_back(geomean(v));
+    printRow("geomean", gm);
+    std::printf("\nIn-L3 %.1fx and Inf-S %.1fx over Near-L3 (paper: 1.5x "
+                "and 2.4x)\n",
+                gm[2] / gm[1], gm[3] / gm[1]);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 2: speedup of Base-1T / Base-64T / Near-L3 / In-L3 for vec_add and
+ * array_sum across input sizes (fp32, data cached in L3 and already
+ * transposed, per the paper's setup).
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("Fig 2: Speedup of Different Paradigms (fp32)\n");
+    std::printf("%s\n", defaultSystemConfig().summary().c_str());
+    printHeader("speedup over Base-1T",
+                {"Base-1T", "Base-64T", "Near-L3", "In-L3"});
+
+    auto sweep = [&](const char *name,
+                     const std::function<Workload(Coord)> &make) {
+        for (Coord n : {Coord(16) << 10, Coord(64) << 10, Coord(256) << 10,
+                        Coord(1) << 20, Coord(4) << 20}) {
+            Workload w = make(n);
+            w.assumeTransposed = true; // Fig 2's stated assumption.
+            double base1 = double(run(Paradigm::Base1T, w).cycles);
+            std::vector<double> row{
+                1.0,
+                base1 / double(run(Paradigm::Base, w).cycles),
+                base1 / double(run(Paradigm::NearL3, w).cycles),
+                base1 / double(run(Paradigm::InL3, w).cycles),
+            };
+            char label[64];
+            std::snprintf(label, sizeof label, "%s/%lldk", name,
+                          static_cast<long long>(n >> 10));
+            printRow(label, row);
+        }
+    };
+    sweep("vec_add", [](Coord n) { return makeVecAdd(n); });
+    sweep("array_sum", [](Coord n) { return makeArraySum(n); });
+
+    // The paper's headline: at 4M elements In-L3 beats Near-L3 by ~21x on
+    // vec_add.
+    Workload w = makeVecAdd(4 << 20);
+    w.assumeTransposed = true;
+    double near = double(run(Paradigm::NearL3, w).cycles);
+    double inl3 = double(run(Paradigm::InL3, w).cycles);
+    std::printf("\nvec_add/4M In-L3 over Near-L3: %.1fx (paper: 21x)\n",
+                near / inl3);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * §8 "JIT Overheads": per-workload JIT lowering time (mean in us at 2 GHz
+ * and fraction of runtime), memoization behaviour, and the Inf-S-noJIT
+ * headroom. The paper reports a 220 us average with gauss_elim as the
+ * 1616 us outlier (51% of runtime) because its shrinking tensors defeat
+ * memoization.
+ */
+
+#include "bench_common.hh"
+
+using namespace infs;
+using namespace infs::bench;
+
+int
+main()
+{
+    std::printf("JIT Overheads (Inf-S)\n");
+    std::printf("%-16s %12s %12s %10s %10s %10s\n", "benchmark",
+                "jit-cycles", "jit-us", "jit-share", "lowerings",
+                "memo-hits");
+    double total_us = 0.0;
+    unsigned n = 0;
+    for (const Entry &e : table3Variants()) {
+        InfinitySystem sys;
+        Executor exec(sys, Paradigm::InfS);
+        ExecStats st = exec.run(e.make());
+        const JitStats &js = sys.jit().stats();
+        double us = ticksToUs(st.jitCycles);
+        double per_lowering_us =
+            js.lowerings ? us / double(js.lowerings) : 0.0;
+        (void)per_lowering_us;
+        std::printf("%-16s %12llu %12.1f %9.1f%% %10llu %10llu\n",
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(st.jitCycles), us,
+                    100.0 * double(st.jitCycles) /
+                        double(std::max<Tick>(st.cycles, 1)),
+                    static_cast<unsigned long long>(js.lowerings),
+                    static_cast<unsigned long long>(js.memoHits));
+        total_us += us;
+        ++n;
+    }
+    std::printf("\nmean JIT time %.0f us across variants (paper mean: "
+                "220 us, gauss_elim outlier 1616 us)\n",
+                total_us / n);
+
+    // Inf-S-noJIT headroom (paper: +19%).
+    std::vector<double> ratios;
+    for (const Entry &e : table3Workloads()) {
+        double with_jit = double(run(Paradigm::InfS, e.make()).cycles);
+        double no_jit = double(run(Paradigm::InfSNoJit, e.make()).cycles);
+        ratios.push_back(with_jit / no_jit);
+    }
+    std::printf("Inf-S-noJIT speedup over Inf-S (geomean): %.2fx (paper: "
+                "1.19x)\n",
+                geomean(ratios));
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bit storage for one compute SRAM array: `wordlines` rows of `bitlines`
+ * bits. A row is stored as packed 64-bit words so one row operation models
+ * all bitline PEs operating in parallel, exactly like the hardware.
+ */
+
+#ifndef INFS_BITSERIAL_BIT_MATRIX_HH
+#define INFS_BITSERIAL_BIT_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+/** One wordline's worth of bits across all bitlines, packed 64 per word. */
+class BitRow
+{
+  public:
+    BitRow() = default;
+    explicit BitRow(unsigned bits)
+        : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+    unsigned bits() const { return bits_; }
+
+    bool
+    get(unsigned i) const
+    {
+        infs_assert(i < bits_, "bit index %u out of %u", i, bits_);
+        return (words_[i / 64] >> (i % 64)) & 1ULL;
+    }
+
+    void
+    set(unsigned i, bool v)
+    {
+        infs_assert(i < bits_, "bit index %u out of %u", i, bits_);
+        std::uint64_t m = 1ULL << (i % 64);
+        if (v)
+            words_[i / 64] |= m;
+        else
+            words_[i / 64] &= ~m;
+    }
+
+    void
+    clear()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** Set bits [lo, hi) to 1 (others untouched). */
+    void setRange(unsigned lo, unsigned hi);
+
+    /** Set bits lo, lo+stride, ... (count of them) to 1. */
+    void setStrided(unsigned lo, unsigned stride, unsigned count);
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    bool any() const;
+
+    // Elementwise logic across all bitlines (the parallel PE operations).
+    BitRow operator&(const BitRow &o) const { return apply(o, OpAnd); }
+    BitRow operator|(const BitRow &o) const { return apply(o, OpOr); }
+    BitRow operator^(const BitRow &o) const { return apply(o, OpXor); }
+    BitRow operator~() const;
+    BitRow &operator&=(const BitRow &o) { inplace(o, OpAnd); return *this; }
+    BitRow &operator|=(const BitRow &o) { inplace(o, OpOr); return *this; }
+    BitRow &operator^=(const BitRow &o) { inplace(o, OpXor); return *this; }
+
+    bool operator==(const BitRow &o) const
+    {
+        return bits_ == o.bits_ && words_ == o.words_;
+    }
+
+    /** Shift the row left (toward higher bitline index) by @p n bits. */
+    BitRow shiftedUp(unsigned n) const;
+    /** Shift the row right (toward lower bitline index) by @p n bits. */
+    BitRow shiftedDown(unsigned n) const;
+
+  private:
+    enum OpKind { OpAnd, OpOr, OpXor };
+
+    BitRow apply(const BitRow &o, OpKind k) const;
+    void inplace(const BitRow &o, OpKind k);
+    void maskTail();
+
+    unsigned bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * The bit contents of one SRAM array: wordlines x bitlines. Wordline 0 is
+ * the top row. Elements in transposed layout occupy consecutive wordlines
+ * (LSB at the lowest wordline) of a single bitline.
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix(unsigned wordlines, unsigned bitlines)
+        : wordlines_(wordlines), bitlines_(bitlines),
+          rows_(wordlines, BitRow(bitlines))
+    {
+    }
+
+    unsigned wordlines() const { return wordlines_; }
+    unsigned bitlines() const { return bitlines_; }
+
+    const BitRow &
+    row(unsigned wl) const
+    {
+        infs_assert(wl < wordlines_, "wordline %u out of %u", wl, wordlines_);
+        return rows_[wl];
+    }
+
+    BitRow &
+    row(unsigned wl)
+    {
+        infs_assert(wl < wordlines_, "wordline %u out of %u", wl, wordlines_);
+        return rows_[wl];
+    }
+
+    bool get(unsigned wl, unsigned bl) const { return row(wl).get(bl); }
+    void set(unsigned wl, unsigned bl, bool v) { row(wl).set(bl, v); }
+
+    /**
+     * Write only the masked bitlines of a wordline: row = (row & ~mask) |
+     * (value & mask). This is the predicated write the hardware performs.
+     */
+    void
+    writeMasked(unsigned wl, const BitRow &value, const BitRow &mask)
+    {
+        BitRow &r = row(wl);
+        r = (r & ~mask) | (value & mask);
+    }
+
+    /**
+     * Read an element of @p bits width stored transposed on @p bitline
+     * starting at wordline @p wl (LSB first). Returns the raw bit pattern.
+     */
+    std::uint64_t readElement(unsigned bitline, unsigned wl,
+                              unsigned bits) const;
+
+    /** Write an element (inverse of readElement). */
+    void writeElement(unsigned bitline, unsigned wl, unsigned bits,
+                      std::uint64_t value);
+
+    void
+    clear()
+    {
+        for (auto &r : rows_)
+            r.clear();
+    }
+
+  private:
+    unsigned wordlines_;
+    unsigned bitlines_;
+    std::vector<BitRow> rows_;
+};
+
+} // namespace infs
+
+#endif // INFS_BITSERIAL_BIT_MATRIX_HH

@@ -1,0 +1,382 @@
+#include "bitserial/compute_sram.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace infs {
+
+BitRow
+ComputeSram::fullMask() const
+{
+    BitRow m(bitlines());
+    m.setRange(0, bitlines());
+    return m;
+}
+
+float
+ComputeSram::readFloat(unsigned bitline, unsigned wl) const
+{
+    std::uint32_t raw =
+        static_cast<std::uint32_t>(bits_.readElement(bitline, wl, 32));
+    return std::bit_cast<float>(raw);
+}
+
+void
+ComputeSram::writeFloat(unsigned bitline, unsigned wl, float v)
+{
+    bits_.writeElement(bitline, wl, 32, std::bit_cast<std::uint32_t>(v));
+}
+
+const BitRow &
+ComputeSram::senseRow(unsigned wl)
+{
+    ++stats_.rowReads;
+    return bits_.row(wl);
+}
+
+void
+ComputeSram::driveRow(unsigned wl, const BitRow &value, const BitRow &mask)
+{
+    ++stats_.rowWrites;
+    bits_.writeMasked(wl, value, mask);
+}
+
+Tick
+ComputeSram::intAddSub(bool subtract, DType t, unsigned wl_a, unsigned wl_b,
+                       unsigned wl_dst, const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    // Two's-complement: a - b = a + ~b + 1, so seed the carry with 1 and
+    // invert the sensed b bits.
+    BitRow carry(bitlines());
+    if (subtract)
+        carry = mask;
+    for (unsigned i = 0; i < n; ++i) {
+        BitRow a = senseRow(wl_a + i) & mask;
+        BitRow b = senseRow(wl_b + i) & mask;
+        if (subtract)
+            b = ~b & mask;
+        BitRow axb = a ^ b;
+        BitRow sum = axb ^ carry;
+        carry = (a & b) | (carry & axb);
+        driveRow(wl_dst + i, sum, mask);
+    }
+    ++stats_.opCount;
+    return lat_.opCycles(subtract ? BitOp::Sub : BitOp::Add, t);
+}
+
+Tick
+ComputeSram::intMul(DType t, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
+                    const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    infs_assert(n <= 64, "int mul width %u too wide", n);
+    // Schoolbook shift-and-add producing the low n bits (wraps modulo 2^n,
+    // matching C unsigned semantics; two's-complement low bits are the same
+    // for signed operands). The accumulator lives in PE latches, modeled
+    // here as local rows.
+    std::vector<BitRow> acc(n, BitRow(bitlines()));
+    // Sense all of a and b once up front (hardware re-senses per step; we
+    // charge the activations accordingly).
+    std::vector<BitRow> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) {
+        a[i] = senseRow(wl_a + i) & mask;
+        b[i] = senseRow(wl_b + i) & mask;
+        // Account the additional per-step sensing the serial hardware does.
+        stats_.rowReads += 1;
+    }
+    for (unsigned j = 0; j < n; ++j) {
+        const BitRow &bj = b[j];
+        if (!bj.any())
+            continue;
+        BitRow carry(bitlines());
+        for (unsigned i = 0; i + j < n; ++i) {
+            BitRow addend = a[i] & bj;
+            BitRow axb = acc[i + j] ^ addend;
+            BitRow sum = axb ^ carry;
+            carry = (acc[i + j] & addend) | (carry & axb);
+            acc[i + j] = sum;
+        }
+    }
+    for (unsigned i = 0; i < n; ++i)
+        driveRow(wl_dst + i, acc[i], mask);
+    ++stats_.opCount;
+    return lat_.opCycles(BitOp::Mul, t);
+}
+
+BitRow
+ComputeSram::lessThanMask(DType t, unsigned wl_a, unsigned wl_b,
+                          const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    // Bit-serial subtract a - b tracking the final carry-out and the sign
+    // bit of the difference; signed less-than combines them with the
+    // operand signs (overflow-aware).
+    BitRow carry = mask; // Seed with 1 for two's-complement subtract.
+    BitRow diff_sign(bitlines());
+    BitRow a_sign(bitlines()), b_sign(bitlines());
+    for (unsigned i = 0; i < n; ++i) {
+        BitRow a = senseRow(wl_a + i) & mask;
+        BitRow b = ~(senseRow(wl_b + i)) & mask;
+        BitRow axb = a ^ b;
+        BitRow sum = axb ^ carry;
+        carry = (a & b) | (carry & axb);
+        if (i == n - 1) {
+            diff_sign = sum;
+            a_sign = a;
+            b_sign = ~b & mask; // Undo the inversion to recover sign(b).
+        }
+    }
+    // lt = (sign(a) != sign(b)) ? sign(a) : sign(diff)
+    BitRow signs_differ = a_sign ^ b_sign;
+    return ((signs_differ & a_sign) | (~signs_differ & diff_sign)) & mask;
+}
+
+Tick
+ComputeSram::fpBinary(BitOp op, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
+                      const BitRow &mask)
+{
+    const unsigned n = 32;
+    for (unsigned bl = 0; bl < bitlines(); ++bl) {
+        if (!mask.get(bl))
+            continue;
+        float a = readFloat(bl, wl_a);
+        float b = readFloat(bl, wl_b);
+        float r = 0.0f;
+        switch (op) {
+          case BitOp::Add: r = a + b; break;
+          case BitOp::Sub: r = a - b; break;
+          case BitOp::Mul: r = a * b; break;
+          case BitOp::Div: r = a / b; break;
+          case BitOp::Max: r = a > b ? a : b; break;
+          case BitOp::Min: r = a < b ? a : b; break;
+          default: infs_panic("fpBinary: unsupported op %s", bitOpName(op));
+        }
+        writeFloat(bl, wl_dst, r);
+    }
+    // Charge activations at the bit-serial rate the latency implies.
+    Tick cycles = lat_.opCycles(op, DType::Fp32);
+    stats_.rowReads += 2 * n;
+    stats_.rowWrites += n;
+    ++stats_.opCount;
+    return cycles;
+}
+
+Tick
+ComputeSram::execBinary(BitOp op, DType t, unsigned wl_a, unsigned wl_b,
+                        unsigned wl_dst, const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    infs_assert(wl_a + n <= wordlines() && wl_b + n <= wordlines(),
+                "operand wordlines out of range");
+    if (t == DType::Fp32) {
+        switch (op) {
+          case BitOp::Add:
+          case BitOp::Sub:
+          case BitOp::Mul:
+          case BitOp::Div:
+          case BitOp::Max:
+          case BitOp::Min:
+            return fpBinary(op, wl_a, wl_b, wl_dst, mask);
+          case BitOp::CmpLt: {
+            BitRow lt(bitlines());
+            for (unsigned bl = 0; bl < bitlines(); ++bl) {
+                if (!mask.get(bl))
+                    continue;
+                lt.set(bl, readFloat(bl, wl_a) < readFloat(bl, wl_b));
+            }
+            driveRow(wl_dst, lt, mask);
+            ++stats_.opCount;
+            return lat_.opCycles(BitOp::CmpLt, t);
+          }
+          default:
+            break; // Bitwise ops fall through to the integer path.
+        }
+    }
+    switch (op) {
+      case BitOp::Add:
+        return intAddSub(false, t, wl_a, wl_b, wl_dst, mask);
+      case BitOp::Sub:
+        return intAddSub(true, t, wl_a, wl_b, wl_dst, mask);
+      case BitOp::Mul:
+        return intMul(t, wl_a, wl_b, wl_dst, mask);
+      case BitOp::CmpLt: {
+        BitRow lt = lessThanMask(t, wl_a, wl_b, mask);
+        driveRow(wl_dst, lt, mask);
+        ++stats_.opCount;
+        return lat_.opCycles(BitOp::CmpLt, t);
+      }
+      case BitOp::Max:
+      case BitOp::Min: {
+        BitRow lt = lessThanMask(t, wl_a, wl_b, mask);
+        // Max keeps b where a < b; Min keeps a where a < b.
+        BitRow keep_b = (op == BitOp::Max) ? lt : (~lt & mask);
+        for (unsigned i = 0; i < n; ++i) {
+            BitRow a = senseRow(wl_a + i);
+            BitRow b = senseRow(wl_b + i);
+            driveRow(wl_dst + i, (b & keep_b) | (a & ~keep_b), mask);
+        }
+        ++stats_.opCount;
+        return lat_.opCycles(op, t);
+      }
+      case BitOp::AndB:
+      case BitOp::OrB:
+      case BitOp::XorB: {
+        for (unsigned i = 0; i < n; ++i) {
+            BitRow a = senseRow(wl_a + i);
+            BitRow b = senseRow(wl_b + i);
+            BitRow r = op == BitOp::AndB ? (a & b)
+                     : op == BitOp::OrB ? (a | b)
+                                        : (a ^ b);
+            driveRow(wl_dst + i, r, mask);
+        }
+        ++stats_.opCount;
+        return lat_.opCycles(op, t);
+      }
+      case BitOp::Div: {
+        infs_assert(t == DType::Fp32 || true, "int div modeled functionally");
+        for (unsigned bl = 0; bl < bitlines(); ++bl) {
+            if (!mask.get(bl))
+                continue;
+            auto a = static_cast<std::int64_t>(readElement(bl, wl_a, t));
+            auto b = static_cast<std::int64_t>(readElement(bl, wl_b, t));
+            std::int64_t r = (b == 0) ? 0 : a / b;
+            writeElement(bl, wl_dst, t, static_cast<std::uint64_t>(r));
+        }
+        ++stats_.opCount;
+        return lat_.opCycles(BitOp::Div, t);
+      }
+      default:
+        infs_panic("execBinary: unsupported op %s", bitOpName(op));
+    }
+}
+
+Tick
+ComputeSram::execBinaryImm(BitOp op, DType t, unsigned wl_a,
+                           std::uint64_t imm, unsigned wl_dst,
+                           const BitRow &mask)
+{
+    // The hardware broadcasts the constant into a scratch register first
+    // (§5.2: "it first broadcasts constant operands (if any) to bitlines").
+    // Model with a reserved scratch area at the top wordlines.
+    const unsigned n = dtypeBits(t);
+    infs_assert(wordlines() >= n, "array too small for scratch");
+    unsigned scratch = wordlines() - n;
+    Tick cost = writeImmediate(t, imm, scratch, mask);
+    cost += execBinary(op, t, wl_a, scratch, wl_dst, mask);
+    return cost;
+}
+
+Tick
+ComputeSram::execUnary(BitOp op, DType t, unsigned wl_a, unsigned wl_dst,
+                       const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    switch (op) {
+      case BitOp::Copy: {
+        for (unsigned i = 0; i < n; ++i)
+            driveRow(wl_dst + i, senseRow(wl_a + i), mask);
+        ++stats_.opCount;
+        return lat_.opCycles(BitOp::Copy, t);
+      }
+      case BitOp::Relu: {
+        // For both int and fp32, clearing every bit when the sign bit is
+        // set yields max(x, 0) (fp32: +0.0). Row-parallel.
+        BitRow sign = senseRow(wl_a + n - 1) & mask;
+        BitRow keep = ~sign;
+        for (unsigned i = 0; i < n; ++i)
+            driveRow(wl_dst + i, senseRow(wl_a + i) & keep, mask);
+        ++stats_.opCount;
+        return lat_.opCycles(BitOp::Relu, t);
+      }
+      default:
+        infs_panic("execUnary: unsupported op %s", bitOpName(op));
+    }
+}
+
+Tick
+ComputeSram::execSelect(DType t, unsigned wl_pred, unsigned wl_a,
+                        unsigned wl_b, unsigned wl_dst, const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    BitRow pred = senseRow(wl_pred) & mask;
+    for (unsigned i = 0; i < n; ++i) {
+        BitRow a = senseRow(wl_a + i);
+        BitRow b = senseRow(wl_b + i);
+        driveRow(wl_dst + i, (a & pred) | (b & ~pred), mask);
+    }
+    ++stats_.opCount;
+    return lat_.opCycles(BitOp::Select, t);
+}
+
+Tick
+ComputeSram::writeImmediate(DType t, std::uint64_t imm, unsigned wl_dst,
+                            const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    BitRow ones = mask;
+    BitRow zeros(bitlines());
+    for (unsigned i = 0; i < n; ++i)
+        driveRow(wl_dst + i, ((imm >> i) & 1ULL) ? ones : zeros, mask);
+    ++stats_.opCount;
+    return n; // One write per bit row.
+}
+
+Tick
+ComputeSram::shift(DType t, unsigned wl_src, unsigned wl_dst, int dist,
+                   const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    const unsigned d = static_cast<unsigned>(dist < 0 ? -dist : dist);
+    BitRow dst_mask =
+        dist >= 0 ? mask.shiftedUp(d) : mask.shiftedDown(d);
+    for (unsigned i = 0; i < n; ++i) {
+        BitRow src = senseRow(wl_src + i) & mask;
+        BitRow moved = dist >= 0 ? src.shiftedUp(d) : src.shiftedDown(d);
+        driveRow(wl_dst + i, moved, dst_mask);
+        ++stats_.htreeRowMoves;
+    }
+    ++stats_.opCount;
+    return lat_.intraShiftCycles(t);
+}
+
+Tick
+ComputeSram::broadcast(DType t, unsigned src_bitline, unsigned wl_src,
+                       unsigned wl_dst, const BitRow &mask)
+{
+    const unsigned n = dtypeBits(t);
+    for (unsigned i = 0; i < n; ++i) {
+        bool bit = senseRow(wl_src + i).get(src_bitline);
+        BitRow value(bitlines());
+        if (bit)
+            value = mask;
+        driveRow(wl_dst + i, value, mask);
+        ++stats_.htreeRowMoves;
+    }
+    ++stats_.opCount;
+    return lat_.intraShiftCycles(t);
+}
+
+const char *
+bitOpName(BitOp op)
+{
+    switch (op) {
+      case BitOp::Add: return "add";
+      case BitOp::Sub: return "sub";
+      case BitOp::Mul: return "mul";
+      case BitOp::Div: return "div";
+      case BitOp::Max: return "max";
+      case BitOp::Min: return "min";
+      case BitOp::CmpLt: return "cmplt";
+      case BitOp::Select: return "select";
+      case BitOp::Copy: return "copy";
+      case BitOp::AndB: return "and";
+      case BitOp::OrB: return "or";
+      case BitOp::XorB: return "xor";
+      case BitOp::Relu: return "relu";
+    }
+    return "?";
+}
+
+} // namespace infs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Bit-serial operation latency table. Integer latencies follow the paper
+ * (§2.2, §5.2): an n-bit integer add takes O(n) cycles (we use n, matching
+ * Eq. 1's 32-cycle int32 add), an n-bit multiply takes n^2 + 5n cycles.
+ * Floating-point latencies are Duality-Cache-style calibrated constants:
+ * fp32 add/sub dominated by mantissa alignment + 24-bit add + normalize,
+ * fp32 mul by the 24x24 mantissa multiply, max/cmp by exponent compare.
+ */
+
+#ifndef INFS_BITSERIAL_LATENCY_HH
+#define INFS_BITSERIAL_LATENCY_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Element data types supported by the in-memory engine. */
+enum class DType : std::uint8_t {
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    Fp32,
+};
+
+/** Bit width of a data type. */
+constexpr unsigned
+dtypeBits(DType t)
+{
+    switch (t) {
+      case DType::Int8: return 8;
+      case DType::Int16: return 16;
+      case DType::Int32: return 32;
+      case DType::Int64: return 64;
+      case DType::Fp32: return 32;
+    }
+    return 0;
+}
+
+/** Byte width of a data type. */
+constexpr unsigned
+dtypeBytes(DType t)
+{
+    return dtypeBits(t) / 8;
+}
+
+/** Operations executable by the bit-serial PEs. */
+enum class BitOp : std::uint8_t {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Max,
+    Min,
+    CmpLt,     ///< Produces a 1-bit mask per bitline.
+    Select,    ///< Predicated move: dst = mask ? a : b.
+    Copy,      ///< Wordline-to-wordline copy within the bitline.
+    AndB,      ///< Bitwise AND.
+    OrB,       ///< Bitwise OR.
+    XorB,      ///< Bitwise XOR.
+    Relu,      ///< max(x, 0).
+};
+
+/** Human-readable op name for traces and stats. */
+const char *bitOpName(BitOp op);
+
+/**
+ * Latency in SRAM-array cycles for one bit-serial operation applied across
+ * all bitlines of an array in parallel.
+ */
+class LatencyTable
+{
+  public:
+    /** Cycles for @p op on elements of type @p t. */
+    Tick
+    opCycles(BitOp op, DType t) const
+    {
+        const unsigned n = dtypeBits(t);
+        const bool fp = (t == DType::Fp32);
+        switch (op) {
+          case BitOp::Add:
+          case BitOp::Sub:
+            return fp ? fp32Add : n;
+          case BitOp::Mul:
+            return fp ? fp32Mul : Tick(n) * n + 5 * n;
+          case BitOp::Div:
+            return fp ? fp32Div : 2 * (Tick(n) * n + 5 * n);
+          case BitOp::Max:
+          case BitOp::Min:
+          case BitOp::Relu:
+            return fp ? fp32Max : 2 * Tick(n) + 2;
+          case BitOp::CmpLt:
+            return fp ? fp32Cmp : 2 * Tick(n);
+          case BitOp::Select:
+            return Tick(n) + 1;
+          case BitOp::Copy:
+          case BitOp::AndB:
+          case BitOp::OrB:
+          case BitOp::XorB:
+            return Tick(n);
+        }
+        infs_panic("unknown BitOp");
+    }
+
+    /**
+     * Cycles to shift one element of @p t by any intra-array bitline
+     * distance through the H tree: one cycle per bit (the shift network
+     * moves one wordline of all selected bitlines per cycle).
+     */
+    Tick
+    intraShiftCycles(DType t) const
+    {
+        return dtypeBits(t);
+    }
+
+    // Calibrated fp32 latencies (cycles).
+    Tick fp32Add = 334;
+    Tick fp32Mul = 1026;
+    Tick fp32Div = 1300;
+    Tick fp32Max = 66;
+    Tick fp32Cmp = 34;
+};
+
+} // namespace infs
+
+#endif // INFS_BITSERIAL_LATENCY_HH

@@ -1,0 +1,35 @@
+#include "bitserial/transpose.hh"
+
+namespace infs {
+
+Tick
+TensorTransposeUnit::loadTransposed(ComputeSram &sram,
+                                    std::span<const std::uint64_t> elems,
+                                    DType t, unsigned wl,
+                                    unsigned first_bitline) const
+{
+    infs_assert(first_bitline + elems.size() <= sram.bitlines(),
+                "transpose overflows bitlines: %zu elems at %u",
+                elems.size(), first_bitline);
+    for (std::size_t i = 0; i < elems.size(); ++i)
+        sram.writeElement(first_bitline + static_cast<unsigned>(i), wl, t,
+                          elems[i]);
+    return conversionCycles(elems.size(), t);
+}
+
+Tick
+TensorTransposeUnit::storeFromTransposed(const ComputeSram &sram,
+                                         std::span<std::uint64_t> elems,
+                                         DType t, unsigned wl,
+                                         unsigned first_bitline) const
+{
+    infs_assert(first_bitline + elems.size() <= sram.bitlines(),
+                "transpose overflows bitlines: %zu elems at %u",
+                elems.size(), first_bitline);
+    for (std::size_t i = 0; i < elems.size(); ++i)
+        elems[i] = sram.readElement(first_bitline + static_cast<unsigned>(i),
+                                    wl, t);
+    return conversionCycles(elems.size(), t);
+}
+
+} // namespace infs

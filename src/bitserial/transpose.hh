@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensor transpose unit (TTU) model: converts elements between the normal
+ * horizontal layout (a span of values) and the vertical bit-serial layout
+ * inside a ComputeSram, charging a per-line conversion cost (§5.2).
+ */
+
+#ifndef INFS_BITSERIAL_TRANSPOSE_HH
+#define INFS_BITSERIAL_TRANSPOSE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "bitserial/compute_sram.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/**
+ * Functional + timing model of the TTU. One TTU sits at each L3 bank and
+ * converts one cache line between layouts every `cyclesPerLine` cycles.
+ */
+class TensorTransposeUnit
+{
+  public:
+    explicit TensorTransposeUnit(Tick cycles_per_line = 4)
+        : cyclesPerLine_(cycles_per_line)
+    {
+    }
+
+    /**
+     * Transpose @p elems into @p sram: element i lands on bitline
+     * (first_bitline + i) at wordlines [wl, wl + bits). Values are raw bit
+     * patterns (use std::bit_cast for floats).
+     * @return Cycle cost of the conversion.
+     */
+    Tick loadTransposed(ComputeSram &sram, std::span<const std::uint64_t>
+                        elems, DType t, unsigned wl,
+                        unsigned first_bitline = 0) const;
+
+    /** Inverse of loadTransposed. @return Cycle cost. */
+    Tick storeFromTransposed(const ComputeSram &sram,
+                             std::span<std::uint64_t> elems, DType t,
+                             unsigned wl, unsigned first_bitline = 0) const;
+
+    /** Cycles to convert @p n elements of type @p t. */
+    Tick
+    conversionCycles(std::uint64_t n, DType t) const
+    {
+        std::uint64_t bytes = n * dtypeBytes(t);
+        std::uint64_t lines = (bytes + lineBytes - 1) / lineBytes;
+        return lines * cyclesPerLine_;
+    }
+
+  private:
+    Tick cyclesPerLine_;
+};
+
+} // namespace infs
+
+#endif // INFS_BITSERIAL_TRANSPOSE_HH

@@ -1,0 +1,448 @@
+#include "core/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tdfg/interp.hh"
+
+namespace infs {
+
+const char *
+paradigmName(Paradigm p)
+{
+    switch (p) {
+      case Paradigm::Base1T: return "Base-1T";
+      case Paradigm::Base: return "Base";
+      case Paradigm::NearL3: return "Near-L3";
+      case Paradigm::InL3: return "In-L3";
+      case Paradigm::InfS: return "Inf-S";
+      case Paradigm::InfSNoJit: return "Inf-S-noJIT";
+    }
+    return "?";
+}
+
+ExecStats
+Executor::run(const Workload &w, ArrayStore *store)
+{
+    sys_.resetStats();
+    if (store != nullptr)
+        runFunctional(w, *store);
+
+    ExecStats st;
+    // Total element ops (for the in-memory fraction dots of Fig 14).
+    for (const Phase &p : w.phases)
+        st.totalOps +=
+            (p.coreFlopsPerIter + p.residualFlopsPerIter) * p.iterations;
+
+    switch (paradigm_) {
+      case Paradigm::Base1T:
+        runBase(w, st, 1);
+        break;
+      case Paradigm::Base:
+        runBase(w, st, sys_.config().numCores());
+        break;
+      case Paradigm::NearL3:
+        runNearL3(w, st);
+        break;
+      case Paradigm::InL3:
+        runInMemory(w, st, /*fused=*/false, /*jit=*/true);
+        break;
+      case Paradigm::InfS:
+        runInMemory(w, st, /*fused=*/true, /*jit=*/true);
+        break;
+      case Paradigm::InfSNoJit:
+        runInMemory(w, st, /*fused=*/true, /*jit=*/false);
+        break;
+    }
+    finalizeStats(st);
+    return st;
+}
+
+void
+Executor::runFunctional(const Workload &w, ArrayStore &store)
+{
+    if (w.setup)
+        w.setup(store);
+    for (const Phase &p : w.phases) {
+        for (std::uint64_t it = 0; it < p.iterations; ++it) {
+            if (p.functionalFallback) {
+                // Overrides the interpreter when set (it may stage data
+                // and invoke the interpreter itself).
+                p.functionalFallback(store, it);
+            } else if (p.buildTdfg) {
+                TdfgGraph g = p.buildTdfg(it);
+                TdfgInterpreter interp(store);
+                interp.run(g);
+            }
+        }
+    }
+}
+
+Tick
+Executor::corePhaseCycles(const Phase &p, unsigned threads, ExecStats &st,
+                          std::uint64_t iters) const
+{
+    const SystemConfig &cfg = sys_.config();
+    const std::uint64_t flops =
+        p.coreFlopsPerIter + p.residualFlopsPerIter;
+    const Bytes bytes = p.coreBytesPerIter + p.residualBytesPerIter;
+    const double rep = static_cast<double>(iters);
+
+    double compute_cycles =
+        static_cast<double>(flops) /
+        (static_cast<double>(threads) * cfg.core.simdLanesFp32);
+
+    // Memory: data streams from L3 home banks to the cores' private
+    // caches; per-line request control precedes each response line.
+    // Traffic and energy scale with the iteration count.
+    double lines = static_cast<double>(bytes) / lineBytes;
+    sys_.noc().accountBulk(static_cast<double>(bytes) * rep,
+                           sys_.noc().avgHops(), TrafficClass::Data);
+    sys_.noc().accountBulk(lines * 16.0 * rep, sys_.noc().avgHops(),
+                           TrafficClass::Control);
+    sys_.l3().read(0, static_cast<Bytes>(bytes * iters));
+
+    double core_side_bw =
+        static_cast<double>(threads) * cfg.noc.linkBytes;
+    double l3_bw = static_cast<double>(cfg.l3.numBanks) *
+                   cfg.l3.htreeBandwidth;
+    double mem_cycles =
+        static_cast<double>(bytes) / std::min(core_side_bw, l3_bw);
+
+    // L3 misses go to DRAM (the phase-level residency knob).
+    // Handled at workload granularity via l3Residency during in-memory
+    // preparation; for the core paths charge DRAM per-phase.
+    double dram_cycles = 0.0;
+
+    // Energy: core op + cache line movements.
+    sys_.energy().charge(EnergyEvent::CoreOp,
+                         static_cast<double>(flops) * rep);
+    sys_.energy().charge(EnergyEvent::L1Access, lines * rep);
+    sys_.energy().charge(EnergyEvent::L2Access, lines * rep);
+    sys_.energy().charge(EnergyEvent::L3Access, lines * rep);
+
+    Tick overhead = threads > 1 ? p.baseSyncPerIter : 200;
+    (void)st;
+    return static_cast<Tick>(
+               std::max({compute_cycles, mem_cycles, dram_cycles})) +
+           overhead;
+}
+
+void
+Executor::runBase(const Workload &w, ExecStats &st, unsigned threads)
+{
+    // Cold data comes from DRAM once per workload.
+    Bytes dram_bytes = static_cast<Bytes>(
+        static_cast<double>(w.footprintBytes) * (1.0 - w.l3Residency));
+    if (dram_bytes > 0) {
+        Tick t = sys_.dram().transfer(dram_bytes);
+        st.dramCycles += t;
+        st.cycles += t;
+    }
+    for (const Phase &p : w.phases) {
+        Tick before = st.cycles;
+        Tick per_iter = corePhaseCycles(p, threads, st, p.iterations);
+        st.coreCycles += per_iter * p.iterations;
+        st.cycles += per_iter * p.iterations;
+        st.phaseCycles.emplace_back(p.name, st.cycles - before);
+    }
+}
+
+void
+Executor::runNearL3(const Workload &w, ExecStats &st)
+{
+    Bytes dram_bytes = static_cast<Bytes>(
+        static_cast<double>(w.footprintBytes) * (1.0 - w.l3Residency));
+    if (dram_bytes > 0) {
+        Tick t = sys_.dram().transfer(dram_bytes);
+        st.dramCycles += t;
+        st.cycles += t;
+    }
+    for (const Phase &p : w.phases) {
+        Tick phase_start = st.cycles;
+        bool per_iter_streams = static_cast<bool>(p.buildStreams);
+        if (p.streams.empty() && !per_iter_streams) {
+            // Not offloadable: run in the core.
+            Tick per_iter = corePhaseCycles(
+                p, sys_.config().numCores(), st, p.iterations);
+            st.coreCycles += per_iter * p.iterations;
+            st.cycles += per_iter * p.iterations;
+            st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+            continue;
+        }
+        if (per_iter_streams) {
+            for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                NearExecResult r =
+                    sys_.nearEngine().run(p.buildStreams(it), 0);
+                st.nearMemCycles += r.cycles;
+                st.cycles += r.cycles;
+            }
+        } else {
+            for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                NearExecResult r = sys_.nearEngine().run(p.streams, 0);
+                st.nearMemCycles += r.cycles;
+                st.cycles += r.cycles;
+            }
+        }
+        st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+    }
+}
+
+void
+Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
+                      bool jit_enabled)
+{
+    const SystemConfig &cfg = sys_.config();
+    // Steady-state mode (Fig 2): data transposed and commands already
+    // lowered in earlier invocations.
+    if (w.assumeTransposed)
+        jit_enabled = false;
+
+    // §4.1: pick the transposed layout from the first tensor phase's
+    // hints; one primary layout serves all arrays of the region.
+    LayoutHints hints;
+    bool have_tdfg = false;
+    for (const Phase &p : w.phases) {
+        if (p.buildTdfg) {
+            TdfgGraph g = p.buildTdfg(0);
+            LayoutHints h = LayoutHints::fromGraph(g);
+            hints.shiftDims.insert(h.shiftDims.begin(), h.shiftDims.end());
+            hints.broadcastDims.insert(h.broadcastDims.begin(),
+                                       h.broadcastDims.end());
+            if (h.reduceDim)
+                hints.reduceDim = h.reduceDim;
+            have_tdfg = true;
+        }
+    }
+    TilingPolicy policy(cfg.l3);
+    TileDecision tile;
+    if (!w.forceTile.empty()) {
+        tile.valid = w.forceTile.size() == w.primaryShape.size();
+        tile.tile = w.forceTile;
+    } else if (have_tdfg) {
+        tile = policy.choose(w.primaryShape, w.elemBytes, hints);
+    }
+    if (!have_tdfg || !tile.valid) {
+        // In-memory computing disabled (§4.1): fall back to near-memory
+        // when fused, else to the core.
+        if (fused)
+            runNearL3(w, st);
+        else
+            runBase(w, st, cfg.numCores());
+        return;
+    }
+    TiledLayout layout(w.primaryShape, tile.tile);
+    st.chosenTile = tile.tile;
+
+    // Data preparation (§5.2) happens lazily, at the first phase that
+    // actually commits to in-memory execution (small regions that Eq. 2
+    // keeps near memory never pay the transposition).
+    bool prepared = w.assumeTransposed;
+    auto prepareOnce = [&]() {
+        if (prepared)
+            return;
+        prepared = true;
+        PrepareResult prep =
+            sys_.prepareTransposed(w.footprintBytes, w.l3Residency);
+        st.dramCycles += prep.cycles;
+        st.cycles += prep.cycles;
+        st.dramBytes += prep.dramBytes;
+    };
+
+    // Waves: element sets larger than the bitline pool execute in passes.
+    std::int64_t primary_elems = 1;
+    for (Coord s : w.primaryShape)
+        primary_elems *= s;
+    Tick waves = static_cast<Tick>(
+        (primary_elems + cfg.l3.totalBitlines() - 1) /
+        cfg.l3.totalBitlines());
+    waves = std::max<Tick>(waves, 1);
+
+    for (const Phase &p : w.phases) {
+        Tick phase_start = st.cycles;
+        if (!p.buildTdfg) {
+            // Irregular-only phase: near memory when fused, core when not.
+            if (fused &&
+                (!p.streams.empty() || p.buildStreams)) {
+                if (p.buildStreams) {
+                    for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                        NearExecResult r =
+                            sys_.nearEngine().run(p.buildStreams(it), 0);
+                        st.nearMemCycles += r.cycles;
+                        st.cycles += r.cycles;
+                    }
+                } else {
+                    for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                        NearExecResult r =
+                            sys_.nearEngine().run(p.streams, 0);
+                        st.nearMemCycles += r.cycles;
+                        st.cycles += r.cycles;
+                    }
+                }
+            } else {
+                Tick per_iter = corePhaseCycles(p, cfg.numCores(), st,
+                                                p.iterations);
+                st.coreCycles += per_iter * p.iterations;
+                st.cycles += per_iter * p.iterations;
+            }
+            st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+            continue;
+        }
+
+        TdfgGraph g0 = p.buildTdfg(0);
+
+        // Phases whose lattice rank differs from the workload layout get
+        // their own layout (or fall back when none is valid).
+        const TiledLayout *use_layout = &layout;
+        TiledLayout phase_layout;
+        if (!p.latticeShape.empty() || g0.dims() != layout.dims()) {
+            std::vector<Coord> shape =
+                p.latticeShape.empty() ? w.primaryShape : p.latticeShape;
+            TileDecision td;
+            if (shape.size() == g0.dims())
+                td = policy.choose(shape, w.elemBytes,
+                                   LayoutHints::fromGraph(g0));
+            if (!td.valid) {
+                if (fused && !p.streams.empty()) {
+                    for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                        NearExecResult r =
+                            sys_.nearEngine().run(p.streams, 0);
+                        st.nearMemCycles += r.cycles;
+                        st.cycles += r.cycles;
+                    }
+                } else {
+                    Tick per_iter = corePhaseCycles(p, cfg.numCores(), st,
+                                                    p.iterations);
+                    st.coreCycles += per_iter * p.iterations;
+                    st.cycles += per_iter * p.iterations;
+                }
+                st.phaseCycles.emplace_back(p.name,
+                                            st.cycles - phase_start);
+                continue;
+            }
+            phase_layout = TiledLayout(shape, td.tile);
+            use_layout = &phase_layout;
+        }
+
+        TdfgSummary summary = g0.summarize();
+        // Eq. 2 (§4.3): Inf-S chooses between in- and near-memory; In-L3
+        // (no near-memory support) between in-memory and the core. The
+        // Fig 2 steady-state mode forces in-memory to plot the paradigm
+        // itself.
+        OffloadDecision dec = decideOffload(summary, cfg, !jit_enabled);
+        if (!w.assumeTransposed && !dec.inMemory) {
+            // Eq. 2 says in-memory does not pay: fused runs the stream
+            // form near memory; In-L3 falls back to the core.
+            if (fused && !p.streams.empty()) {
+                for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                    NearExecResult r = sys_.nearEngine().run(p.streams, 0);
+                    st.nearMemCycles += r.cycles;
+                    st.cycles += r.cycles;
+                }
+            } else {
+                Tick per_iter = corePhaseCycles(p, cfg.numCores(), st,
+                                                p.iterations);
+                st.coreCycles += per_iter * p.iterations;
+                st.cycles += per_iter * p.iterations;
+            }
+            st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+            continue;
+        }
+
+        prepareOnce();
+        auto accumulate = [&](const InMemExecResult &r) {
+            st.computeCycles += r.computeCycles * waves;
+            st.moveCycles += r.moveCycles * waves;
+            st.syncCycles += r.syncCycles * waves;
+            st.cycles += r.cycles * waves;
+            st.inMemOps += r.inMemOps;
+            st.intraTileBytes += r.intraTileBytes;
+            st.interTileBytes += r.interTileBytes;
+            st.interTileNocBytes += r.interTileNocBytes;
+        };
+
+        if (p.sameTdfgEachIter) {
+            // The first iteration pays the JIT; the rest reuse the
+            // memoized program (§4.2).
+            std::string key = w.name + "/" + p.name;
+            auto prog = sys_.jit().lower(g0, *use_layout, sys_.map(), key);
+            if (jit_enabled) {
+                st.jitCycles += prog->jitTicks;
+                st.cycles += prog->jitTicks;
+            }
+            accumulate(sys_.tensorController().execute(
+                *prog, *use_layout, 0, p.iterations));
+        } else {
+            // Changing parameters defeat memoization (gauss_elim, §8).
+            for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                TdfgGraph g = it == 0 ? std::move(g0) : p.buildTdfg(it);
+                auto prog = sys_.jit().lower(g, *use_layout, sys_.map());
+                if (jit_enabled) {
+                    st.jitCycles += prog->jitTicks;
+                    st.cycles += prog->jitTicks;
+                }
+                accumulate(
+                    sys_.tensorController().execute(*prog, *use_layout,
+                                                    0));
+            }
+        }
+
+        // Residual work: final reductions / irregular updates coupled to
+        // the in-memory part.
+        if (!p.residualStreams.empty()) {
+            if (fused) {
+                bool any_reduce = false;
+                for (const NearStream &s : p.residualStreams)
+                    any_reduce |= s.isReduce;
+                for (std::uint64_t it = 0; it < p.iterations; ++it) {
+                    NearExecResult r =
+                        sys_.nearEngine().run(p.residualStreams, 0);
+                    if (any_reduce)
+                        st.finalReduceCycles += r.cycles;
+                    else
+                        st.mixCycles += r.cycles;
+                    st.cycles += r.cycles;
+                }
+            } else {
+                // In-L3 has no near-memory support: the core does it.
+                Phase residual;
+                residual.coreFlopsPerIter = p.residualFlopsPerIter;
+                residual.coreBytesPerIter = p.residualBytesPerIter;
+                Tick per_iter = corePhaseCycles(
+                    residual, cfg.numCores(), st, p.iterations);
+                st.finalReduceCycles += per_iter * p.iterations;
+                st.cycles += per_iter * p.iterations;
+            }
+        }
+        st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+    }
+
+    // Delayed release of the transposed data (§5.2).
+    if (prepared && !w.assumeTransposed) {
+        Tick rel = sys_.releaseTransposed(w.dirtyBytes);
+        st.dramCycles += rel;
+        st.cycles += rel;
+    } else if (prepared) {
+        sys_.releaseTransposed(0);
+    }
+}
+
+void
+Executor::finalizeStats(ExecStats &st) const
+{
+    MeshNoc &noc = sys_.noc();
+    for (unsigned c = 0; c < numTrafficClasses; ++c)
+        st.nocHopBytes[c] = noc.hopBytes(static_cast<TrafficClass>(c));
+    st.nocUtilization = noc.utilization(std::max<Tick>(st.cycles, 1));
+    st.dramBytes = sys_.dram().totalBytes();
+
+    // Central energy charges from model totals.
+    sys_.energy().charge(EnergyEvent::NocHopFlit,
+                         noc.totalHopBytes() /
+                             sys_.config().noc.linkBytes);
+    sys_.energy().charge(EnergyEvent::DramAccess,
+                         static_cast<double>(st.dramBytes) / lineBytes);
+    st.energyJoules = sys_.energy().totalJoules();
+}
+
+} // namespace infs

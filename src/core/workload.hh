@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Workload description: what the compiler would embed into an infinity
+ * stream fat binary for each program region (§3.4). A workload is a
+ * sequence of phases; each phase carries its tDFG (in-memory form), its
+ * sDFG (near-memory stream form), and aggregate costs for the in-core
+ * baseline — both representations of the *same* computation, enabling the
+ * runtime's dynamic paradigm choice.
+ */
+
+#ifndef INFS_CORE_WORKLOAD_HH
+#define INFS_CORE_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/near_engine.hh"
+#include "tdfg/array_store.hh"
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/** Execution paradigms evaluated in the paper (§7). */
+enum class Paradigm : std::uint8_t {
+    Base1T,     ///< Single-thread AVX-512 core.
+    Base,       ///< 64-thread AVX-512 multicore.
+    NearL3,     ///< Near-stream computing at SEL3 (the NSC baseline).
+    InL3,       ///< In-memory only: tDFG + JIT, no near-memory support.
+    InfS,       ///< Fused in-/near-memory (the paper's full system).
+    InfSNoJit,  ///< InfS with precompiled commands (no JIT time).
+};
+
+const char *paradigmName(Paradigm p);
+
+/** One offloadable program region (an inf_cfg .. inf_end pair). */
+struct Phase {
+    std::string name;
+
+    /**
+     * Build the tDFG for iteration @p iter (in-memory form). Null when
+     * the phase has no regular tensor part (irregular-only phases run
+     * near memory or in the core).
+     */
+    std::function<TdfgGraph(std::uint64_t iter)> buildTdfg;
+
+    /** Times the region executes (outer loop trip count). */
+    std::uint64_t iterations = 1;
+
+    /**
+     * Lattice shape for this phase when it differs from the workload's
+     * primary shape (e.g. a 3-D aggregation phase inside a 2-D
+     * workload); empty means use the workload layout.
+     */
+    std::vector<Coord> latticeShape;
+
+    /**
+     * True when every iteration lowers to the same commands, enabling
+     * JIT memoization (§4.2); gauss_elim's shrinking tensors are the
+     * counterexample.
+     */
+    bool sameTdfgEachIter = true;
+
+    /** Near-memory stream form of one iteration (the sDFG). */
+    std::vector<NearStream> streams;
+
+    /**
+     * Optional per-iteration stream builder for phases whose stream
+     * extents change across iterations (gauss_elim); overrides @p streams
+     * when set.
+     */
+    std::function<std::vector<NearStream>(std::uint64_t iter)> buildStreams;
+
+    /**
+     * Functional implementation for phases without a tDFG (irregular
+     * stages like furthest sampling); called once per iteration when the
+     * executor runs in functional mode.
+     */
+    std::function<void(ArrayStore &, std::uint64_t iter)>
+        functionalFallback;
+
+    /**
+     * Stream form of the residual work that accompanies the in-memory
+     * part under InfS (e.g. kmeans' indirect centroid update, final
+     * reductions beyond the tile). Executed near-memory by InfS, in the
+     * core by InL3.
+     */
+    std::vector<NearStream> residualStreams;
+
+    /** Scalar fp ops per iteration (in-core cost). */
+    std::uint64_t coreFlopsPerIter = 0;
+
+    /** Bytes streamed through L3 per iteration after private caching. */
+    Bytes coreBytesPerIter = 0;
+
+    /** Residual (non-tensor) flops per iteration, run by the core under
+     * InL3 and near memory under InfS. */
+    std::uint64_t residualFlopsPerIter = 0;
+    Bytes residualBytesPerIter = 0;
+
+    /** Per-iteration parallel-section overhead for the multicore Base
+     * (OpenMP fork/join + barrier; dominates furthest-sample, §8). */
+    Tick baseSyncPerIter = 3000;
+};
+
+/** A full workload (one Table 3 benchmark or PointNet++ stage). */
+struct Workload {
+    std::string name;
+
+    /** Primary array shape (dim 0 innermost) — drives tiling (§4.1). */
+    std::vector<Coord> primaryShape;
+    unsigned elemBytes = 4;
+
+    std::vector<Phase> phases;
+
+    /** Total array footprint to transpose before in-memory phases. */
+    Bytes footprintBytes = 0;
+    /** Dirty bytes written back on release. */
+    Bytes dirtyBytes = 0;
+    /** Fraction of the footprint resident in L3 at region start. */
+    double l3Residency = 1.0;
+
+    /** Fig 2 mode: data already cached in L3 and transposed; skip the
+     * preparation and release phases. */
+    bool assumeTransposed = false;
+
+    /** Fig 16/17 sweeps: force this tile size instead of the runtime
+     * heuristic (empty = let the runtime choose, §4.1). */
+    std::vector<Coord> forceTile;
+
+    /** Initialize arrays (functional mode). */
+    std::function<void(ArrayStore &)> setup;
+    /** Independent scalar implementation (golden reference). */
+    std::function<void(ArrayStore &)> reference;
+};
+
+} // namespace infs
+
+#endif // INFS_CORE_WORKLOAD_HH

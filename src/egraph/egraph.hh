@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Equality graph (e-graph) for tDFG optimization (§3.2 "Optimizing tDFG"
+ * and the appendix). A from-scratch reimplementation of the equality-
+ * saturation substrate the paper builds with the egg library: union-find
+ * over equivalence classes, hash-consed e-nodes, batched rewriting, and
+ * cost-based extraction.
+ *
+ * Two tDFG nodes are equivalent iff they represent the same result AND
+ * share the same lattice domain, so every e-class carries its domain and
+ * merges across differing domains are rejected.
+ */
+
+#ifndef INFS_EGRAPH_EGRAPH_HH
+#define INFS_EGRAPH_EGRAPH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/** Equivalence class id. */
+using EClassId = std::uint32_t;
+inline constexpr EClassId invalidEClass = ~EClassId(0);
+
+/**
+ * One operator application over e-classes. Parameter fields mirror
+ * TdfgNode; children refer to e-classes rather than nodes.
+ */
+struct ENode {
+    TdfgKind kind = TdfgKind::Tensor;
+    BitOp fn = BitOp::Add;
+    unsigned dim = 0;
+    Coord dist = 0;
+    Coord count = 0;
+    Coord shrinkLo = 0;     ///< Shrink target range.
+    Coord shrinkHi = 0;
+    ArrayId array = invalidArray;
+    double constValue = 0.0;
+    HyperRect rect;         ///< Tensor: source rect (identity-relevant).
+    /** Original node id for opaque Stream nodes (not rewritten). */
+    std::int32_t streamTag = -1;
+    std::vector<EClassId> children;
+
+    bool operator==(const ENode &o) const;
+};
+
+/** Hash for hash-consing. */
+struct ENodeHash {
+    std::size_t operator()(const ENode &n) const;
+};
+
+/** One equivalence class: its e-nodes and semantic domain. */
+struct EClass {
+    std::vector<ENode> nodes;
+    HyperRect domain;
+    bool infiniteDomain = false;
+};
+
+/**
+ * The e-graph. Nodes are added with canonical children; merge() unions
+ * classes and rebuild() restores congruence (hash-consing invariants).
+ */
+class EGraph
+{
+  public:
+    explicit EGraph(unsigned dims) : dims_(dims) {}
+
+    unsigned dims() const { return dims_; }
+
+    /** Add (or find) an e-node; returns its class. */
+    EClassId add(ENode n);
+
+    /** Canonical representative of a class. */
+    EClassId find(EClassId id) const;
+
+    /**
+     * Union two classes. Rejected (returns false) when their domains
+     * differ — equivalence in the tDFG requires equal domains.
+     */
+    bool merge(EClassId a, EClassId b);
+
+    /** Restore congruence closure after a batch of merges. */
+    void rebuild();
+
+    /** Number of canonical classes. */
+    std::size_t numClasses() const;
+
+    /** Total e-nodes across canonical classes. */
+    std::size_t numNodes() const;
+
+    const EClass &eclass(EClassId id) const;
+
+    /** All canonical class ids (stable snapshot). */
+    std::vector<EClassId> canonicalClasses() const;
+
+    /** Compute the semantic domain an e-node would produce. */
+    void domainOf(const ENode &n, HyperRect &out, bool &infinite) const;
+
+    /** Multi-line dump of every canonical class for debugging. */
+    std::string dump() const;
+
+  private:
+    ENode canonicalize(const ENode &n) const;
+
+    unsigned dims_;
+    mutable std::vector<EClassId> parent_;  // Union-find.
+    std::vector<EClass> classes_;
+    std::unordered_map<ENode, EClassId, ENodeHash> hashcons_;
+    bool dirty_ = false;
+};
+
+/**
+ * Architecture-informed extraction cost model (appendix: "estimated
+ * latency of move vs. compute node, the amount of moved/broadcast data,
+ * and the number of computations").
+ */
+struct ExtractionCost {
+    double bitlinesTotal = 4.0 * 1024 * 1024;  ///< PEs available.
+    LatencyTable latency;
+
+    /** Cost of one e-node excluding children. */
+    double nodeCost(const ENode &n, const EClass &cls) const;
+};
+
+/** Result of extraction: a tDFG rebuilt from the cheapest e-nodes. */
+struct ExtractionResult {
+    TdfgGraph graph;
+    double cost = 0.0;
+    std::vector<NodeId> rootNodes;  ///< tDFG node per requested root.
+};
+
+/**
+ * Equality-saturation optimizer implementing the appendix's rewrite rules
+ * (Eqs. 3-9 plus tensor expansion and compute reuse).
+ */
+class TdfgOptimizer
+{
+  public:
+    struct Options {
+        unsigned maxIterations = 8;   ///< Saturation rounds budget.
+        std::size_t maxNodes = 20000; ///< Early-termination node budget.
+        bool enableExpansion = true;  ///< Tensor expansion (Eq. 5).
+        bool enableExchange = true;   ///< Compute/move/bc exchange (Eq. 4).
+        bool enableAlgebra = true;    ///< Assoc/comm/distrib (Eq. 3).
+    };
+
+    TdfgOptimizer() = default;
+    explicit TdfgOptimizer(Options opts) : opts_(opts) {}
+
+    /**
+     * Optimize @p g: ingest into an e-graph, saturate, extract the
+     * cheapest equivalent graph. Outputs are preserved.
+     */
+    ExtractionResult optimize(const TdfgGraph &g,
+                              const ExtractionCost &cost = ExtractionCost{});
+
+    /** Number of rewrite matches applied in the last run. */
+    unsigned rewritesApplied() const { return rewrites_; }
+    /** Number of saturation iterations performed in the last run. */
+    unsigned iterationsRun() const { return iterations_; }
+
+  private:
+    unsigned applyRules(EGraph &eg);
+    unsigned ruleCommutative(EGraph &eg);
+    unsigned ruleComputeMoveExchange(EGraph &eg);
+    unsigned ruleComputeBroadcastExchange(EGraph &eg);
+    unsigned ruleTensorExpansion(EGraph &eg);
+    unsigned ruleShrinkThroughCompute(EGraph &eg);
+    unsigned ruleShrinkThroughMove(EGraph &eg);
+    unsigned ruleShrinkCombine(EGraph &eg);
+    unsigned ruleMoveFusion(EGraph &eg);
+    unsigned ruleDistributive(EGraph &eg);
+
+    ExtractionResult extract(const EGraph &eg,
+                             const std::vector<EClassId> &roots,
+                             const ExtractionCost &cost,
+                             const TdfgGraph &original) const;
+
+    Options opts_{};
+    unsigned rewrites_ = 0;
+    unsigned iterations_ = 0;
+};
+
+} // namespace infs
+
+#endif // INFS_EGRAPH_EGRAPH_HH

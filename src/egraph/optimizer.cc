@@ -1,0 +1,834 @@
+/**
+ * @file
+ * Equality-saturation rules (appendix Eqs. 3-9) and cost-based extraction.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "egraph/egraph.hh"
+
+namespace infs {
+
+namespace {
+
+bool
+isCommutative(BitOp fn)
+{
+    return fn == BitOp::Add || fn == BitOp::Mul || fn == BitOp::Max ||
+           fn == BitOp::Min;
+}
+
+/** Find an e-node of @p kind in class @p id; nullptr when absent. */
+const ENode *
+findKind(const EGraph &eg, EClassId id, TdfgKind kind)
+{
+    for (const ENode &n : eg.eclass(id).nodes)
+        if (n.kind == kind)
+            return &n;
+    return nullptr;
+}
+
+} // namespace
+
+ExtractionResult
+TdfgOptimizer::optimize(const TdfgGraph &g, const ExtractionCost &cost)
+{
+    rewrites_ = 0;
+    iterations_ = 0;
+    EGraph eg(g.dims());
+
+    // Ingest: one e-class per original node (hash-consing may alias).
+    std::vector<EClassId> classOf(g.size(), invalidEClass);
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const TdfgNode &n = g.node(id);
+        ENode en;
+        en.kind = n.kind;
+        en.fn = n.fn;
+        en.dim = n.dim;
+        en.dist = n.dist;
+        en.count = n.count;
+        en.array = n.array;
+        en.constValue = n.constValue;
+        if (n.kind == TdfgKind::Tensor)
+            en.rect = n.domain;
+        if (n.kind == TdfgKind::Shrink) {
+            en.shrinkLo = n.domain.lo(n.dim);
+            en.shrinkHi = n.domain.hi(n.dim);
+        }
+        if (n.kind == TdfgKind::Stream) {
+            en.streamTag = static_cast<std::int32_t>(id);
+            en.rect = n.domain;
+        }
+        for (NodeId op : n.operands)
+            en.children.push_back(classOf[op]);
+        classOf[id] = eg.add(std::move(en));
+    }
+
+    // Saturate within budgets ("can be exhaustive or terminated early").
+    for (unsigned it = 0; it < opts_.maxIterations; ++it) {
+        ++iterations_;
+        unsigned applied = applyRules(eg);
+        eg.rebuild();
+        rewrites_ += applied;
+        if (applied == 0 || eg.numNodes() > opts_.maxNodes)
+            break;
+    }
+
+    if (logVerbosity() >= 3)
+        std::fprintf(stderr, "%s", eg.dump().c_str());
+
+    // Roots: every output plus every (side-effecting) stream node.
+    std::vector<EClassId> roots;
+    std::vector<NodeId> rootOrigins;
+    for (const auto &o : g.outputs()) {
+        roots.push_back(eg.find(classOf[o.node]));
+        rootOrigins.push_back(o.node);
+    }
+    for (NodeId id = 0; id < g.size(); ++id) {
+        if (g.node(id).kind == TdfgKind::Stream) {
+            roots.push_back(eg.find(classOf[id]));
+            rootOrigins.push_back(id);
+        }
+    }
+    ExtractionResult res = extract(eg, roots, cost, g);
+    // Re-attach outputs.
+    for (std::size_t i = 0; i < g.outputs().size(); ++i)
+        res.graph.output(res.rootNodes[i], g.outputs()[i].array);
+    return res;
+}
+
+unsigned
+TdfgOptimizer::applyRules(EGraph &eg)
+{
+    unsigned n = 0;
+    if (opts_.enableAlgebra) {
+        n += ruleCommutative(eg);
+        n += ruleDistributive(eg);
+    }
+    if (opts_.enableExchange) {
+        n += ruleComputeMoveExchange(eg);
+        n += ruleComputeBroadcastExchange(eg);
+    }
+    if (opts_.enableExpansion)
+        n += ruleTensorExpansion(eg);
+    n += ruleShrinkThroughCompute(eg);
+    n += ruleShrinkThroughMove(eg);
+    n += ruleShrinkCombine(eg);
+    n += ruleMoveFusion(eg);
+    return n;
+}
+
+unsigned
+TdfgOptimizer::ruleCommutative(EGraph &eg)
+{
+    // Eq. 3b: C(f, A, B) <=> C(f, B, A).
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Compute || n.children.size() != 2 ||
+                !isCommutative(n.fn))
+                continue;
+            ENode sw = n;
+            std::swap(sw.children[0], sw.children[1]);
+            EClassId sc = eg.add(std::move(sw));
+            if (eg.find(sc) != eg.find(c) && eg.merge(c, sc))
+                ++applied;
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleDistributive(EGraph &eg)
+{
+    // Eq. 3c with g = multiply-by-shared-operand:
+    // C(+, C(*, A, K), C(*, B, K)) => C(*, C(+, A, B), K).
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Compute || n.fn != BitOp::Add ||
+                n.children.size() != 2)
+                continue;
+            const ENode *lm = findKind(eg, n.children[0], TdfgKind::Compute);
+            const ENode *rm = findKind(eg, n.children[1], TdfgKind::Compute);
+            if (!lm || !rm || lm->fn != BitOp::Mul || rm->fn != BitOp::Mul)
+                continue;
+            if (lm->children.size() != 2 || rm->children.size() != 2)
+                continue;
+            // Find the shared factor K.
+            for (int li = 0; li < 2; ++li) {
+                for (int ri = 0; ri < 2; ++ri) {
+                    if (eg.find(lm->children[li]) !=
+                        eg.find(rm->children[ri]))
+                        continue;
+                    ENode sum;
+                    sum.kind = TdfgKind::Compute;
+                    sum.fn = BitOp::Add;
+                    sum.children = {lm->children[1 - li],
+                                    rm->children[1 - ri]};
+                    EClassId sum_c = eg.add(std::move(sum));
+                    ENode mul;
+                    mul.kind = TdfgKind::Compute;
+                    mul.fn = BitOp::Mul;
+                    mul.children = {sum_c, lm->children[li]};
+                    EClassId mc = eg.add(std::move(mul));
+                    if (eg.find(mc) != eg.find(c) && eg.merge(c, mc))
+                        ++applied;
+                }
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleComputeMoveExchange(EGraph &eg)
+{
+    // Eq. 4a: C(f, M(A0,i,d), M(A1,i,d), ...) <=> M(C(f, A0, A1, ...),i,d).
+    // Constant operands are translation-invariant and pass through.
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind == TdfgKind::Compute) {
+                // Hoist: all non-const children contain a Move with the
+                // same (dim, dist).
+                bool ok = true, found = false;
+                unsigned dim = 0;
+                Coord dist = 0;
+                std::vector<EClassId> inner;
+                for (EClassId ch : n.children) {
+                    if (eg.eclass(ch).infiniteDomain) {
+                        inner.push_back(ch);
+                        continue;
+                    }
+                    const ENode *mv = findKind(eg, ch, TdfgKind::Move);
+                    if (!mv) {
+                        ok = false;
+                        break;
+                    }
+                    if (!found) {
+                        dim = mv->dim;
+                        dist = mv->dist;
+                        found = true;
+                    } else if (mv->dim != dim || mv->dist != dist) {
+                        ok = false;
+                        break;
+                    }
+                    inner.push_back(mv->children[0]);
+                }
+                if (!ok || !found || dist == 0)
+                    continue;
+                ENode cmp;
+                cmp.kind = TdfgKind::Compute;
+                cmp.fn = n.fn;
+                cmp.children = std::move(inner);
+                EClassId cmp_c = eg.add(std::move(cmp));
+                ENode mv;
+                mv.kind = TdfgKind::Move;
+                mv.dim = dim;
+                mv.dist = dist;
+                mv.children = {cmp_c};
+                EClassId mv_c = eg.add(std::move(mv));
+                if (eg.find(mv_c) != eg.find(c) && eg.merge(c, mv_c))
+                    ++applied;
+            } else if (n.kind == TdfgKind::Move) {
+                // Sink: M(C(f, A...), i, d) => C(f, M(A,i,d)...).
+                const ENode *cm = findKind(eg, n.children[0],
+                                           TdfgKind::Compute);
+                if (!cm)
+                    continue;
+                ENode cmp;
+                cmp.kind = TdfgKind::Compute;
+                cmp.fn = cm->fn;
+                for (EClassId ch : cm->children) {
+                    if (eg.eclass(ch).infiniteDomain) {
+                        cmp.children.push_back(ch);
+                        continue;
+                    }
+                    ENode mv;
+                    mv.kind = TdfgKind::Move;
+                    mv.dim = n.dim;
+                    mv.dist = n.dist;
+                    mv.children = {ch};
+                    cmp.children.push_back(eg.add(std::move(mv)));
+                }
+                EClassId cc = eg.add(std::move(cmp));
+                if (eg.find(cc) != eg.find(c) && eg.merge(c, cc))
+                    ++applied;
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleComputeBroadcastExchange(EGraph &eg)
+{
+    // Eq. 4b: C(f, B(A,i,dist,cnt)) <=> B(C(f, A),i,dist,cnt) (unary form:
+    // other operands must be constants).
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Compute)
+                continue;
+            const ENode *bc = nullptr;
+            std::vector<EClassId> inner;
+            bool ok = true;
+            for (EClassId ch : n.children) {
+                if (eg.eclass(ch).infiniteDomain) {
+                    inner.push_back(ch);
+                    continue;
+                }
+                if (bc != nullptr) {
+                    ok = false; // Only the unary (one tensor) form.
+                    break;
+                }
+                bc = findKind(eg, ch, TdfgKind::Broadcast);
+                if (!bc) {
+                    ok = false;
+                    break;
+                }
+                inner.push_back(bc->children[0]);
+            }
+            if (!ok || bc == nullptr)
+                continue;
+            ENode cmp;
+            cmp.kind = TdfgKind::Compute;
+            cmp.fn = n.fn;
+            cmp.children = std::move(inner);
+            EClassId cmp_c = eg.add(std::move(cmp));
+            ENode nb;
+            nb.kind = TdfgKind::Broadcast;
+            nb.dim = bc->dim;
+            nb.dist = bc->dist;
+            nb.count = bc->count;
+            nb.children = {cmp_c};
+            EClassId bc_c = eg.add(std::move(nb));
+            if (eg.find(bc_c) != eg.find(c) && eg.merge(c, bc_c))
+                ++applied;
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleTensorExpansion(EGraph &eg)
+{
+    // Eq. 5: T(..., p, q, ...) <=> S(i, p, q, T(..., p', q', ...)) for any
+    // containing range. We expand pairs of tensors over the same array to
+    // their bounding union — exactly the "tensor expansion" transformation
+    // of §3.2, which unlocks compute reuse.
+    unsigned applied = 0;
+    // Collect tensor nodes (array, rect, class).
+    struct TensorRef {
+        ArrayId array;
+        HyperRect rect;
+        EClassId cls;
+    };
+    std::vector<TensorRef> tensors;
+    for (EClassId c : eg.canonicalClasses())
+        for (const ENode &n : eg.eclass(c).nodes)
+            if (n.kind == TdfgKind::Tensor)
+                tensors.push_back({n.array, n.rect, c});
+
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+        for (std::size_t j = i + 1; j < tensors.size(); ++j) {
+            if (tensors[i].array != tensors[j].array)
+                continue;
+            if (tensors[i].rect == tensors[j].rect)
+                continue;
+            HyperRect uni = tensors[i].rect.boundingUnion(tensors[j].rect);
+            ENode big;
+            big.kind = TdfgKind::Tensor;
+            big.array = tensors[i].array;
+            big.rect = uni;
+            EClassId big_c = eg.add(std::move(big));
+            for (const TensorRef *t : {&tensors[i], &tensors[j]}) {
+                if (t->rect == uni)
+                    continue;
+                // Chain shrinks per differing dimension.
+                EClassId cur = big_c;
+                HyperRect cur_rect = uni;
+                for (unsigned d = 0; d < uni.dims(); ++d) {
+                    if (t->rect.lo(d) == cur_rect.lo(d) &&
+                        t->rect.hi(d) == cur_rect.hi(d))
+                        continue;
+                    ENode s;
+                    s.kind = TdfgKind::Shrink;
+                    s.dim = d;
+                    s.shrinkLo = t->rect.lo(d);
+                    s.shrinkHi = t->rect.hi(d);
+                    s.children = {cur};
+                    cur = eg.add(std::move(s));
+                    cur_rect = cur_rect.withDim(d, t->rect.lo(d),
+                                                t->rect.hi(d));
+                }
+                if (eg.find(cur) != eg.find(t->cls) &&
+                    eg.merge(t->cls, cur))
+                    ++applied;
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleShrinkThroughCompute(EGraph &eg)
+{
+    // Eq. 9: C(f, S(i,p,q,A), consts...) => S(i,p,q, C(f, A, consts...)).
+    // Multi-tensor form requires every tensor operand to carry the same
+    // shrink. A class may hold several shrink nodes (one per expansion
+    // pairing), so every candidate of the first tensor operand is tried.
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Compute)
+                continue;
+            // Candidate shrinks of the first non-const child.
+            std::vector<ENode> candidates;
+            for (EClassId ch : n.children) {
+                if (eg.eclass(ch).infiniteDomain)
+                    continue;
+                for (const ENode &s : eg.eclass(ch).nodes)
+                    if (s.kind == TdfgKind::Shrink)
+                        candidates.push_back(s);
+                break; // Only the first tensor child seeds candidates.
+            }
+            for (const ENode &cand : candidates) {
+                unsigned dim = cand.dim;
+                Coord lo = cand.shrinkLo, hi = cand.shrinkHi;
+                bool ok = true, first_tensor = true;
+                std::vector<EClassId> inner;
+                for (EClassId ch : n.children) {
+                    if (eg.eclass(ch).infiniteDomain) {
+                        inner.push_back(ch);
+                        continue;
+                    }
+                    if (first_tensor) {
+                        inner.push_back(cand.children[0]);
+                        first_tensor = false;
+                        continue;
+                    }
+                    const ENode *match = nullptr;
+                    for (const ENode &s : eg.eclass(ch).nodes) {
+                        if (s.kind == TdfgKind::Shrink && s.dim == dim &&
+                            s.shrinkLo == lo && s.shrinkHi == hi) {
+                            match = &s;
+                            break;
+                        }
+                    }
+                    if (!match) {
+                        ok = false;
+                        break;
+                    }
+                    inner.push_back(match->children[0]);
+                }
+                if (!ok)
+                    continue;
+                ENode cmp;
+                cmp.kind = TdfgKind::Compute;
+                cmp.fn = n.fn;
+                cmp.children = std::move(inner);
+                EClassId cmp_c = eg.add(std::move(cmp));
+                ENode s;
+                s.kind = TdfgKind::Shrink;
+                s.dim = dim;
+                s.shrinkLo = lo;
+                s.shrinkHi = hi;
+                s.children = {cmp_c};
+                EClassId sc = eg.add(std::move(s));
+                if (eg.find(sc) != eg.find(c) && eg.merge(c, sc))
+                    ++applied;
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleShrinkThroughMove(EGraph &eg)
+{
+    // Eq. 7a/7b: M(S(i,p,q,A), j, d) <=> S(i', p', q', M(A, j, d)) where
+    // the shrink range shifts by d when i == j.
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Move)
+                continue;
+            const ENode *s = findKind(eg, n.children[0], TdfgKind::Shrink);
+            if (!s)
+                continue;
+            ENode mv;
+            mv.kind = TdfgKind::Move;
+            mv.dim = n.dim;
+            mv.dist = n.dist;
+            mv.children = {s->children[0]};
+            EClassId mv_c = eg.add(std::move(mv));
+            ENode ns;
+            ns.kind = TdfgKind::Shrink;
+            ns.dim = s->dim;
+            ns.shrinkLo = s->shrinkLo + (s->dim == n.dim ? n.dist : 0);
+            ns.shrinkHi = s->shrinkHi + (s->dim == n.dim ? n.dist : 0);
+            ns.children = {mv_c};
+            EClassId sc = eg.add(std::move(ns));
+            if (eg.find(sc) != eg.find(c) && eg.merge(c, sc))
+                ++applied;
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleShrinkCombine(EGraph &eg)
+{
+    // Eq. 6b plus elimination: a shrink whose range equals its child's
+    // domain is the identity.
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Shrink)
+                continue;
+            const EClass &child = eg.eclass(n.children[0]);
+            if (!child.infiniteDomain &&
+                child.domain.lo(n.dim) == n.shrinkLo &&
+                child.domain.hi(n.dim) == n.shrinkHi) {
+                if (eg.merge(c, n.children[0]))
+                    ++applied;
+                continue;
+            }
+            const ENode *s = findKind(eg, n.children[0], TdfgKind::Shrink);
+            if (s && s->dim == n.dim) {
+                ENode ns;
+                ns.kind = TdfgKind::Shrink;
+                ns.dim = n.dim;
+                ns.shrinkLo = std::max(n.shrinkLo, s->shrinkLo);
+                ns.shrinkHi = std::min(n.shrinkHi, s->shrinkHi);
+                ns.children = {s->children[0]};
+                EClassId sc = eg.add(std::move(ns));
+                if (eg.find(sc) != eg.find(c) && eg.merge(c, sc))
+                    ++applied;
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+TdfgOptimizer::ruleMoveFusion(EGraph &eg)
+{
+    // M(M(A,i,d1),i,d2) => M(A,i,d1+d2); M(A,i,0) => A.
+    unsigned applied = 0;
+    for (EClassId c : eg.canonicalClasses()) {
+        std::vector<ENode> snapshot = eg.eclass(c).nodes;
+        for (const ENode &n : snapshot) {
+            if (n.kind != TdfgKind::Move)
+                continue;
+            if (n.dist == 0) {
+                if (eg.merge(c, n.children[0]))
+                    ++applied;
+                continue;
+            }
+            const ENode *m = findKind(eg, n.children[0], TdfgKind::Move);
+            if (m && m->dim == n.dim) {
+                Coord total = m->dist + n.dist;
+                if (total == 0) {
+                    if (eg.merge(c, m->children[0]))
+                        ++applied;
+                } else {
+                    ENode nm;
+                    nm.kind = TdfgKind::Move;
+                    nm.dim = n.dim;
+                    nm.dist = total;
+                    nm.children = {m->children[0]};
+                    EClassId mc = eg.add(std::move(nm));
+                    if (eg.find(mc) != eg.find(c) && eg.merge(c, mc))
+                        ++applied;
+                }
+            }
+        }
+    }
+    return applied;
+}
+
+double
+ExtractionCost::nodeCost(const ENode &n, const EClass &cls) const
+{
+    double vol = cls.infiniteDomain
+                     ? 1.0
+                     : static_cast<double>(std::max<std::int64_t>(
+                           cls.domain.volume(), 1));
+    double waves = std::ceil(vol / bitlinesTotal);
+    switch (n.kind) {
+      case TdfgKind::Tensor:
+      case TdfgKind::ConstVal:
+        return 0.01;
+      case TdfgKind::Shrink:
+        return 0.01; // Lowered to a nop by the JIT (appendix).
+      case TdfgKind::Compute:
+        return static_cast<double>(latency.opCycles(n.fn, DType::Fp32)) *
+               waves * std::max<double>(1.0, n.children.size() - 1.0);
+      case TdfgKind::Move:
+        // Intra-array shift latency plus a traffic term growing with the
+        // amount of moved data.
+        return static_cast<double>(
+                   latency.intraShiftCycles(DType::Fp32)) * waves +
+               vol / bitlinesTotal;
+      case TdfgKind::Broadcast:
+        // Broadcast reuses the read data through the H tree: cheap.
+        return static_cast<double>(
+                   latency.intraShiftCycles(DType::Fp32)) * waves * 0.5;
+      case TdfgKind::Reduce: {
+        double rounds = 1.0;
+        if (!cls.infiniteDomain) {
+            // log2 of the reduced extent, at least 1.
+            rounds = 1.0;
+            (void)rounds;
+        }
+        return static_cast<double>(latency.opCycles(n.fn, DType::Fp32)) *
+               10.0 * waves;
+      }
+      case TdfgKind::Stream:
+        return 1000.0; // Opaque near-memory work.
+    }
+    return 1.0;
+}
+
+namespace {
+
+/** Per-class chosen e-node, produced by one cost fixpoint. */
+using Selection = std::unordered_map<EClassId, const ENode *>;
+
+/**
+ * Relax class costs to a fixpoint. @p refs optionally amortizes a child's
+ * cost across its (candidate) consumers, which lets extraction see sharing
+ * (tree-cost extraction double-counts shared subgraphs).
+ */
+void
+relaxCosts(const EGraph &eg, const ExtractionCost &cost,
+           const std::unordered_map<EClassId, unsigned> *refs,
+           std::unordered_map<EClassId, double> &best, Selection &sel)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    // Near-ties (within cost_tol) break toward the candidate whose
+    // children span larger domains: computes over expanded tensors cost
+    // the same cycles on bitline-parallel hardware, and the expanded form
+    // is the canonical one that hash-consing shares across shrunk
+    // consumers (§3.2 "tensor expansion", appendix Eq. 5).
+    const double cost_tol = 0.5;
+    auto classes = eg.canonicalClasses();
+    std::unordered_map<EClassId, double> vol;
+    for (EClassId c : classes) {
+        best[c] = inf;
+        vol[c] = -inf;
+    }
+    auto childVolume = [&](const ENode &n) {
+        double v = 0.0;
+        for (EClassId ch : n.children) {
+            const EClass &cc = eg.eclass(ch);
+            if (!cc.infiniteDomain)
+                v += static_cast<double>(cc.domain.volume());
+        }
+        return v;
+    };
+    for (unsigned round = 0; round < 64; ++round) {
+        bool changed = false;
+        for (EClassId c : classes) {
+            for (const ENode &n : eg.eclass(c).nodes) {
+                double total = cost.nodeCost(n, eg.eclass(c));
+                bool feasible = true;
+                for (EClassId ch : n.children) {
+                    EClassId cc = eg.find(ch);
+                    double bc = best[cc];
+                    if (bc == inf) {
+                        feasible = false;
+                        break;
+                    }
+                    double share = 1.0;
+                    if (refs != nullptr) {
+                        auto it = refs->find(cc);
+                        if (it != refs->end() && it->second > 1)
+                            share = it->second;
+                    }
+                    total += bc / share;
+                }
+                if (!feasible)
+                    continue;
+                double v = childVolume(n);
+                bool better = total < best[c] - cost_tol ||
+                              (total < best[c] + cost_tol && v > vol[c]);
+                if (better) {
+                    best[c] = std::min(best[c], total);
+                    vol[c] = v;
+                    sel[c] = &n;
+                    changed = true;
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+/**
+ * Build a tDFG from a selection; memoized so shared classes emit once.
+ * The amortized selection may contain cycles (its relaxation is only
+ * asymptotically convergent); on re-entry we fall back to the tree
+ * selection, which positive node costs guarantee to be acyclic.
+ */
+struct GraphBuilder {
+    const EGraph &eg;
+    const Selection &sel;
+    const Selection &fallback;
+    const TdfgGraph &original;
+    TdfgGraph &g;
+    std::unordered_map<EClassId, NodeId> built;
+    std::unordered_map<EClassId, bool> inProgress;
+
+    NodeId
+    build(EClassId c, bool use_fallback = false)
+    {
+        c = eg.find(c);
+        auto it = built.find(c);
+        if (it != built.end())
+            return it->second;
+        if (inProgress[c]) {
+            infs_assert(!use_fallback, "cycle in acyclic tree selection");
+            use_fallback = true;
+        }
+        const Selection &s = use_fallback ? fallback : sel;
+        auto si = s.find(c);
+        infs_assert(si != s.end(), "extraction: class %u unreachable", c);
+        const ENode &n = *si->second;
+        inProgress[c] = true;
+        std::vector<NodeId> kids;
+        for (EClassId ch : n.children)
+            kids.push_back(build(ch, use_fallback));
+        inProgress[c] = false;
+        // A deeper frame may have completed this class via the fallback
+        // path; reuse it rather than emitting a duplicate node.
+        it = built.find(c);
+        if (it != built.end())
+            return it->second;
+        NodeId id = invalidNode;
+        switch (n.kind) {
+          case TdfgKind::Tensor:
+            id = g.tensor(n.array, n.rect);
+            break;
+          case TdfgKind::ConstVal:
+            id = g.constant(n.constValue);
+            break;
+          case TdfgKind::Compute:
+            id = g.compute(n.fn, kids);
+            break;
+          case TdfgKind::Move:
+            id = g.move(kids[0], n.dim, n.dist);
+            break;
+          case TdfgKind::Broadcast:
+            id = g.broadcast(kids[0], n.dim, n.dist, n.count);
+            break;
+          case TdfgKind::Shrink:
+            id = g.shrink(kids[0], n.dim, n.shrinkLo, n.shrinkHi);
+            break;
+          case TdfgKind::Reduce:
+            id = g.reduce(kids[0], n.fn, n.dim);
+            break;
+          case TdfgKind::Stream: {
+            const TdfgNode &orig = original.node(
+                static_cast<NodeId>(n.streamTag));
+            id = g.stream(orig.streamRole, orig.pattern,
+                          kids.empty() ? invalidNode : kids[0],
+                          orig.domain, orig.name, orig.fn);
+            break;
+          }
+        }
+        built.emplace(c, id);
+        return id;
+    }
+};
+
+} // namespace
+
+ExtractionResult
+TdfgOptimizer::extract(const EGraph &eg, const std::vector<EClassId> &roots,
+                       const ExtractionCost &cost,
+                       const TdfgGraph &original) const
+{
+    // Phase 1: plain tree-cost fixpoint.
+    std::unordered_map<EClassId, double> cost1;
+    Selection sel1;
+    relaxCosts(eg, cost, nullptr, cost1, sel1);
+
+    // Reference counts over classes reachable from the roots: how many
+    // candidate e-nodes consume each class. Classes consumed more than
+    // once are sharing opportunities.
+    std::unordered_map<EClassId, unsigned> refs;
+    {
+        std::vector<EClassId> stack;
+        std::unordered_map<EClassId, bool> seen;
+        for (EClassId r : roots)
+            stack.push_back(eg.find(r));
+        while (!stack.empty()) {
+            EClassId c = stack.back();
+            stack.pop_back();
+            if (seen[c])
+                continue;
+            seen[c] = true;
+            for (const ENode &n : eg.eclass(c).nodes) {
+                for (EClassId ch : n.children) {
+                    EClassId cc = eg.find(ch);
+                    ++refs[cc];
+                    if (!seen[cc])
+                        stack.push_back(cc);
+                }
+            }
+        }
+    }
+
+    // Phase 2: sharing-amortized fixpoint.
+    std::unordered_map<EClassId, double> cost2;
+    Selection sel2;
+    relaxCosts(eg, cost, &refs, cost2, sel2);
+
+    // Build both candidate graphs and keep the one whose *true* cost (each
+    // node charged once) is lower — never worse than tree extraction.
+    auto buildGraph = [&](const Selection &sel, ExtractionResult &res) {
+        GraphBuilder b{eg, sel, sel1, original, res.graph, {}, {}};
+        for (EClassId r : roots)
+            res.rootNodes.push_back(b.build(r));
+        res.cost = 0.0;
+        for (NodeId id = 0; id < res.graph.size(); ++id) {
+            const TdfgNode &n = res.graph.node(id);
+            ENode en;
+            en.kind = n.kind;
+            en.fn = n.fn;
+            en.children.resize(n.operands.size());
+            EClass pseudo;
+            pseudo.domain = n.infiniteDomain ? HyperRect{} : n.domain;
+            pseudo.infiniteDomain = n.infiniteDomain;
+            res.cost += cost.nodeCost(en, pseudo);
+        }
+    };
+
+    ExtractionResult tree{TdfgGraph(eg.dims(), original.name() + ".opt")};
+    buildGraph(sel1, tree);
+    ExtractionResult shared{TdfgGraph(eg.dims(), original.name() + ".opt")};
+    buildGraph(sel2, shared);
+    if (logVerbosity() >= 2)
+        std::fprintf(stderr, "extract: tree=%.2f shared=%.2f\n", tree.cost,
+                     shared.cost);
+    return shared.cost <= tree.cost ? std::move(shared) : std::move(tree);
+}
+
+} // namespace infs

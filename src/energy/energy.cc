@@ -1,0 +1,32 @@
+#include "energy/energy.hh"
+
+namespace infs {
+
+const char *
+energyEventName(EnergyEvent e)
+{
+    switch (e) {
+      case EnergyEvent::CoreOp: return "core_op";
+      case EnergyEvent::CoreStatic: return "core_static";
+      case EnergyEvent::L1Access: return "l1_access";
+      case EnergyEvent::L2Access: return "l2_access";
+      case EnergyEvent::L3Access: return "l3_access";
+      case EnergyEvent::NocHopFlit: return "noc_hop_flit";
+      case EnergyEvent::DramAccess: return "dram_access";
+      case EnergyEvent::SramRowActivate: return "sram_row_activate";
+      case EnergyEvent::HtreeRowMove: return "htree_row_move";
+      case EnergyEvent::StreamEngineOp: return "stream_engine_op";
+    }
+    return "?";
+}
+
+double
+EnergyAccount::totalJoules() const
+{
+    double total = 0.0;
+    for (unsigned i = 0; i < numEnergyEvents; ++i)
+        total += counts_[i] * costs_.pj[i] * 1e-12;
+    return total;
+}
+
+} // namespace infs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Energy and area models. Per-event energy constants are CACTI-22nm-style
+ * estimates (the paper obtains SRAM/H-tree energy from CACTI and chip area
+ * from McPAT + Neural Cache's die analysis). Absolute joules are
+ * approximate; the evaluation (Fig. 18) only relies on the relative
+ * energy between paradigms, which is set by event *counts* times these
+ * per-event costs.
+ */
+
+#ifndef INFS_ENERGY_ENERGY_HH
+#define INFS_ENERGY_ENERGY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Energy event categories. */
+enum class EnergyEvent : std::uint8_t {
+    CoreOp,          ///< One scalar/SIMD-lane fp32 op in a core.
+    CoreStatic,      ///< Per-core per-cycle static+clock overhead.
+    L1Access,        ///< One 64 B L1 line access.
+    L2Access,        ///< One 64 B L2 line access.
+    L3Access,        ///< One 64 B L3 bank line access.
+    NocHopFlit,      ///< One 32 B flit traversing one router+link.
+    DramAccess,      ///< One 64 B DRAM line transfer.
+    SramRowActivate, ///< One 256-bit compute-SRAM wordline activation.
+    HtreeRowMove,    ///< One 256-bit row moved through the bank H tree.
+    StreamEngineOp,  ///< One near-stream computation at SEL3.
+};
+
+inline constexpr unsigned numEnergyEvents = 10;
+
+/** Name for dumps. */
+const char *energyEventName(EnergyEvent e);
+
+/**
+ * Per-event energy in picojoules. Documented estimates at 22 nm:
+ *  - CoreOp 15 pJ: fp32 FMA + register/bypass overhead in an OOO core.
+ *  - L1/L2/L3 access 20/40/100 pJ per 64 B line (CACTI-like, incl. tags).
+ *  - NoC hop 25 pJ per 32 B flit (router + link at 22 nm).
+ *  - DRAM 1300 pJ per 64 B line (~20 pJ/bit interface+array).
+ *  - SRAM row activation 5 pJ per 256-bit wordline (small 8 kB subarray).
+ *  - H-tree row move 10 pJ (drives the bank-level tree).
+ *  - Stream engine op 8 pJ (short in-order pipeline near the bank).
+ */
+struct EnergyCosts {
+    std::array<double, numEnergyEvents> pj{
+        15.0,   // CoreOp
+        0.0,    // CoreStatic (folded into op costs by default)
+        20.0,   // L1Access
+        40.0,   // L2Access
+        100.0,  // L3Access
+        25.0,   // NocHopFlit
+        1300.0, // DramAccess
+        5.0,    // SramRowActivate
+        10.0,   // HtreeRowMove
+        8.0,    // StreamEngineOp
+    };
+
+    double of(EnergyEvent e) const { return pj[static_cast<unsigned>(e)]; }
+};
+
+/** Accumulates event counts and reports energy in joules. */
+class EnergyAccount
+{
+  public:
+    explicit EnergyAccount(EnergyCosts costs = EnergyCosts{})
+        : costs_(costs)
+    {
+    }
+
+    void
+    charge(EnergyEvent e, double count = 1.0)
+    {
+        counts_[static_cast<unsigned>(e)] += count;
+    }
+
+    double count(EnergyEvent e) const
+    {
+        return counts_[static_cast<unsigned>(e)];
+    }
+
+    /** Energy of one category in joules. */
+    double
+    joules(EnergyEvent e) const
+    {
+        return counts_[static_cast<unsigned>(e)] * costs_.of(e) * 1e-12;
+    }
+
+    /** Total energy in joules. */
+    double totalJoules() const;
+
+    void reset() { counts_.fill(0.0); }
+
+    const EnergyCosts &costs() const { return costs_; }
+
+  private:
+    EnergyCosts costs_;
+    std::array<double, numEnergyEvents> counts_{};
+};
+
+/**
+ * Chip area model (§8 "Energy and Area"): the paper reports 66.75 mm² of
+ * in-memory compute overhead (extra sense amps, write drivers, second
+ * decoder, PEs) and 28.16 mm² of near-memory support logic on a McPAT
+ * 22 nm baseline, totalling 6.52% whole-chip overhead.
+ */
+struct AreaModel {
+    double baselineMm2 = 1360.8;   ///< McPAT whole-CPU baseline.
+    double inMemoryMm2 = 66.75;    ///< Compute-SRAM enhancement.
+    double nearMemoryMm2 = 28.16;  ///< Stream engines + TCs + LOT.
+
+    double totalMm2() const
+    {
+        return baselineMm2 + inMemoryMm2 + nearMemoryMm2;
+    }
+
+    /** Fractional overhead over the full enhanced chip. */
+    double overheadFraction() const
+    {
+        return (inMemoryMm2 + nearMemoryMm2) / totalMm2();
+    }
+};
+
+} // namespace infs
+
+#endif // INFS_ENERGY_ENERGY_HH

@@ -1,0 +1,78 @@
+#include "jit/decompose.hh"
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+namespace {
+
+/** Decompose dimensions [dim, N) and cross with the given prefix ranges. */
+void
+decomposeFrom(const HyperRect &tensor, const std::vector<Coord> &tile,
+              unsigned dim, std::vector<std::pair<Coord, Coord>> &prefix,
+              std::vector<HyperRect> &out)
+{
+    const unsigned dims = tensor.dims();
+    if (dim == dims) {
+        std::vector<Coord> lo(dims), hi(dims);
+        for (unsigned d = 0; d < dims; ++d) {
+            lo[d] = prefix[d].first;
+            hi[d] = prefix[d].second;
+        }
+        out.emplace_back(std::move(lo), std::move(hi));
+        return;
+    }
+
+    const Coord p = tensor.lo(dim), q = tensor.hi(dim), t = tile[dim];
+    infs_assert(p < q, "empty tensor dimension %u", dim);
+    infs_assert(t > 0, "tile dim %u must be positive", dim);
+    // Alg. 1 lines 3-4: align p and q to tile boundaries.
+    auto floordiv = [](Coord a, Coord b) {
+        return a >= 0 ? a / b : -((-a + b - 1) / b);
+    };
+    Coord a = floordiv(p, t) * t;
+    Coord b = floordiv(p + t - 1, t) * t;
+    Coord c = floordiv(q, t) * t;
+    Coord d2 = floordiv(q + t - 1, t) * t;
+    (void)d2;
+
+    auto emit = [&](Coord lo, Coord hi) {
+        if (lo >= hi)
+            return;
+        prefix[dim] = {lo, hi};
+        decomposeFrom(tensor, tile, dim + 1, prefix, out);
+    };
+
+    if (b <= c) {
+        // a <= p < b <= c <= q < d: head / middle / tail (Alg. 1 l. 8-16).
+        if (a < p) {
+            emit(p, b); // Head interval (p not tile-aligned).
+            emit(b, c); // Possible middle interval.
+        } else {
+            emit(p, c); // p aligns with a: one aligned interval.
+        }
+        if (c < q)
+            emit(c, q); // Possible tail interval.
+    } else {
+        // Entire range within one tile: no decomposition in this dim.
+        emit(p, q);
+    }
+}
+
+} // namespace
+
+std::vector<HyperRect>
+decomposeTensor(const HyperRect &tensor, const std::vector<Coord> &tile)
+{
+    infs_assert(tensor.dims() == tile.size(),
+                "tensor rank %u != tile rank %zu", tensor.dims(),
+                tile.size());
+    std::vector<HyperRect> out;
+    if (tensor.empty())
+        return out;
+    std::vector<std::pair<Coord, Coord>> prefix(tensor.dims());
+    decomposeFrom(tensor, tile, 0, prefix, out);
+    return out;
+}
+
+} // namespace infs

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Algorithm 1: decompose a tensor along tile boundaries so boundary tiles
+ * are handled by separate commands.
+ */
+
+#ifndef INFS_JIT_DECOMPOSE_HH
+#define INFS_JIT_DECOMPOSE_HH
+
+#include <vector>
+
+#include "tdfg/hyperrect.hh"
+
+namespace infs {
+
+/**
+ * Recursively decompose an N-D tensor along the tile boundary in each
+ * dimension (paper Alg. 1). The result is a partition of @p tensor into
+ * subtensors that are each either tile-aligned (the middle) or contained
+ * in one boundary tile row (head/tail) per dimension.
+ */
+std::vector<HyperRect> decomposeTensor(const HyperRect &tensor,
+                                       const std::vector<Coord> &tile);
+
+} // namespace infs
+
+#endif // INFS_JIT_DECOMPOSE_HH

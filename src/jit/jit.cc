@@ -1,0 +1,571 @@
+#include "jit/jit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace infs {
+
+const char *
+cmdKindName(CmdKind k)
+{
+    switch (k) {
+      case CmdKind::IntraShift: return "intra_shift";
+      case CmdKind::InterShift: return "inter_shift";
+      case CmdKind::Compute: return "compute";
+      case CmdKind::BroadcastBl: return "bc";
+      case CmdKind::BroadcastVal: return "bc_imm";
+      case CmdKind::Sync: return "sync";
+    }
+    return "?";
+}
+
+std::string
+InMemCommand::str() const
+{
+    std::ostringstream os;
+    os << cmdKindName(kind);
+    switch (kind) {
+      case CmdKind::IntraShift:
+      case CmdKind::InterShift:
+        os << " " << tensor.str() << " dim=" << dim << " mask=[" << maskLo
+           << "," << maskHi << ") inter=" << interTileDist
+           << " intra=" << intraTileDist;
+        break;
+      case CmdKind::Compute:
+        os << " " << bitOpName(op) << " " << tensor.str() << " wl=" << wlA
+           << (useImm ? ",imm" : ",") << (useImm ? "" : std::to_string(wlB))
+           << "->" << wlDst;
+        break;
+      case CmdKind::BroadcastBl:
+        os << " " << tensor.str() << " dim=" << dim << " count=" << bcCount;
+        break;
+      case CmdKind::BroadcastVal:
+        os << " imm=" << imm << " ->" << wlDst;
+        break;
+      case CmdKind::Sync:
+        break;
+    }
+    return os.str();
+}
+
+std::vector<InMemCommand>
+compileMove(const HyperRect &tensor, unsigned dim, Coord dist, Coord tile_k)
+{
+    // Paper Alg. 2.
+    std::vector<InMemCommand> out;
+    if (dist == 0 || tensor.empty())
+        return out;
+    const Coord d_abs = dist > 0 ? dist : -dist;
+    const Coord d_inter = d_abs / tile_k;
+    const Coord d_intra = d_abs % tile_k;
+    const Coord d_intra_c = tile_k - d_intra; // Complement.
+
+    // Positions within the tile covered by the tensor along dim k: the
+    // mask intersects these; empty intersections are filtered (§4.2).
+    auto maskNonEmpty = [&](Coord mask_lo, Coord mask_hi) {
+        Coord span = tensor.size(dim);
+        if (span >= tile_k)
+            return mask_hi > mask_lo;
+        // Wrapped interval of covered positions [plo, plo+span).
+        Coord plo = ((tensor.lo(dim) % tile_k) + tile_k) % tile_k;
+        for (Coord m = mask_lo; m < mask_hi; ++m) {
+            Coord rel = (m - plo + 2 * tile_k) % tile_k;
+            if (rel < span)
+                return true;
+        }
+        return false;
+    };
+
+    auto shift = [&](Coord mask_lo, Coord mask_hi, Coord inter,
+                     Coord intra) {
+        if (!maskNonEmpty(mask_lo, mask_hi))
+            return;
+        InMemCommand c;
+        c.kind = inter == 0 ? CmdKind::IntraShift : CmdKind::InterShift;
+        c.tensor = tensor;
+        c.dim = dim;
+        c.maskLo = mask_lo;
+        c.maskHi = mask_hi;
+        c.interTileDist = inter;
+        c.intraTileDist = intra;
+        out.push_back(std::move(c));
+    };
+
+    if (dist > 0) { // Shift forward (Alg. 2 l. 5-8).
+        shift(0, d_intra_c, d_inter, d_intra);
+        if (d_intra > 0)
+            shift(d_intra_c, tile_k, d_inter + 1, -d_intra_c);
+    } else { // Shift backward (Alg. 2 l. 9-12).
+        if (d_intra > 0)
+            shift(0, d_intra, -(d_inter + 1), d_intra_c);
+        shift(d_intra, tile_k, -d_inter, -d_intra);
+    }
+    return out;
+}
+
+namespace {
+
+/** Ceil log2 for reduction round counts. */
+unsigned
+ceilLog2(Coord v)
+{
+    unsigned r = 0;
+    Coord p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace
+
+InMemProgram
+JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
+                     const AddressMap &map)
+{
+    InMemProgram prog;
+    const unsigned bits = 32; // fp32 workloads (Table 3).
+    const unsigned num_slots = numSlots();
+
+    // ---- Wordline allocation (the static compiler's register allocation
+    // of §3.4; slot = 32 consecutive wordlines). Arrays referenced by
+    // tensor/output nodes get stable home slots; temporaries reuse slots
+    // freed at their last use. No spilling (§6 limitation 3).
+    std::unordered_map<ArrayId, unsigned> array_slot;
+    auto arrayHome = [&](ArrayId a) -> unsigned {
+        auto it = array_slot.find(a);
+        if (it != array_slot.end())
+            return it->second;
+        unsigned slot = static_cast<unsigned>(array_slot.size());
+        infs_assert(slot < num_slots,
+                    "out of wordline slots for arrays (%u available) — "
+                    "register spilling unsupported (§6)",
+                    num_slots);
+        array_slot.emplace(a, slot);
+        return slot;
+    };
+    // Pre-assign homes for all arrays touched (inputs and outputs).
+    for (const TdfgNode &n : g.nodes())
+        if (n.kind == TdfgKind::Tensor)
+            arrayHome(n.array);
+    for (const auto &o : g.outputs())
+        arrayHome(o.array);
+
+    // Last use of each node.
+    std::vector<NodeId> last_use(g.size());
+    for (NodeId id = 0; id < g.size(); ++id) {
+        last_use[id] = id;
+        for (NodeId op : g.node(id).operands)
+            last_use[op] = id;
+    }
+    for (const auto &o : g.outputs())
+        last_use[o.node] = static_cast<NodeId>(g.size());
+
+    std::vector<bool> slot_busy(num_slots, false);
+    for (const auto &[a, s] : array_slot)
+        slot_busy[s] = true;
+    std::vector<NodeLocation> loc(g.size());
+    std::vector<int> node_slot(g.size(), -1);
+
+    auto allocSlot = [&](NodeId id) -> unsigned {
+        for (unsigned s = 0; s < num_slots; ++s) {
+            if (!slot_busy[s]) {
+                slot_busy[s] = true;
+                node_slot[id] = static_cast<int>(s);
+                return s;
+            }
+        }
+        infs_panic("tDFG '%s': out of wordline registers (%u slots) — "
+                   "register spilling unsupported (§6)",
+                   g.name().c_str(), num_slots);
+    };
+    auto freeDeadSlots = [&](NodeId now) {
+        // Free slots whose owner was last consumed by the node just
+        // processed (including self-owned dead values).
+        for (NodeId id = 0; id <= now; ++id) {
+            if (node_slot[id] >= 0 && last_use[id] == now) {
+                slot_busy[static_cast<unsigned>(node_slot[id])] = false;
+                node_slot[id] = -1;
+            }
+        }
+    };
+
+    // ---- Lowering proper.
+    bool pending_inter_tile = false;
+    auto syncIfPending = [&]() {
+        if (!pending_inter_tile)
+            return;
+        InMemCommand s;
+        s.kind = CmdKind::Sync;
+        prog.commands.push_back(std::move(s));
+        pending_inter_tile = false;
+    };
+
+    auto banksOf = [&](const HyperRect &r) {
+        return layout.banksFor(r, map);
+    };
+
+    for (NodeId id = 0; id < g.size(); ++id) {
+        const TdfgNode &n = g.node(id);
+        switch (n.kind) {
+          case TdfgKind::Tensor: {
+            loc[id] = {arrayHome(n.array) * bits, true};
+            break;
+          }
+          case TdfgKind::ConstVal: {
+            // Constants are broadcast by the TC right before the consuming
+            // compute (§5.2); no standalone command.
+            break;
+          }
+          case TdfgKind::Shrink: {
+            loc[id] = loc[n.operands[0]]; // Lowered to a nop (appendix).
+            break;
+          }
+          case TdfgKind::Move: {
+            syncIfPending();
+            const NodeLocation &src = loc[n.operands[0]];
+            infs_assert(src.resident, "move of non-resident node");
+            unsigned dst_wl = allocSlot(id) * bits;
+            // Alg. 1 then Alg. 2 per decomposed subtensor.
+            const HyperRect &src_dom = g.domainOf(n.operands[0]);
+            for (const HyperRect &sub :
+                 decomposeTensor(src_dom, layout.tile())) {
+                for (InMemCommand c :
+                     compileMove(sub, n.dim, n.dist,
+                                 layout.tileSize(n.dim))) {
+                    c.group = id;
+                    c.dtype = DType::Fp32;
+                    c.wlA = src.wl;
+                    c.wlDst = dst_wl;
+                    c.banks = banksOf(
+                        sub.boundingUnion(sub.shifted(n.dim, n.dist)
+                                              .intersect(HyperRect::array(
+                                                  layout.shape()))));
+                    if (c.kind == CmdKind::InterShift)
+                        pending_inter_tile = true;
+                    prog.commands.push_back(std::move(c));
+                }
+            }
+            loc[id] = {dst_wl, true};
+            break;
+          }
+          case TdfgKind::Broadcast: {
+            syncIfPending();
+            const NodeLocation &src = loc[n.operands[0]];
+            infs_assert(src.resident, "broadcast of non-resident node");
+            unsigned dst_wl = allocSlot(id) * bits;
+            const HyperRect &src_dom = g.domainOf(n.operands[0]);
+            for (const HyperRect &sub :
+                 decomposeTensor(src_dom, layout.tile())) {
+                InMemCommand c;
+                c.kind = CmdKind::BroadcastBl;
+                c.group = id;
+                c.tensor = sub;
+                c.dim = n.dim;
+                c.bcCount = n.count;
+                c.bcDist = n.dist;
+                c.dtype = DType::Fp32;
+                c.wlA = src.wl;
+                c.wlDst = dst_wl;
+                // Banks: source plus the whole destination region.
+                HyperRect dst = n.domain.intersect(
+                    HyperRect::array(layout.shape()));
+                c.banks = banksOf(sub.boundingUnion(dst));
+                // Broadcasts beyond one tile traverse the H tree/NoC.
+                if (n.count * src_dom.size(n.dim) > layout.tileSize(n.dim))
+                    pending_inter_tile = true;
+                prog.commands.push_back(std::move(c));
+            }
+            loc[id] = {dst_wl, true};
+            break;
+          }
+          case TdfgKind::Compute: {
+            syncIfPending();
+            unsigned dst_wl = allocSlot(id) * bits;
+            // Chain n-ary computes into binary commands.
+            // Gather tensor operands and at most the constants as imms.
+            std::vector<NodeId> tensor_ops;
+            std::vector<double> imms;
+            for (NodeId op : n.operands) {
+                if (g.node(op).kind == TdfgKind::ConstVal)
+                    imms.push_back(g.node(op).constValue);
+                else
+                    tensor_ops.push_back(op);
+            }
+            infs_assert(!tensor_ops.empty(), "compute with only consts");
+            for (const HyperRect &sub :
+                 decomposeTensor(n.domain, layout.tile())) {
+                auto banks = banksOf(sub);
+                unsigned cur_wl = loc[tensor_ops[0]].wl;
+                // Fold further tensor operands pairwise.
+                for (std::size_t i = 1; i < tensor_ops.size(); ++i) {
+                    InMemCommand c;
+                    c.kind = CmdKind::Compute;
+                    c.group = id;
+                    c.op = n.fn;
+                    c.dtype = DType::Fp32;
+                    c.tensor = sub;
+                    c.wlA = cur_wl;
+                    c.wlB = loc[tensor_ops[i]].wl;
+                    c.wlDst = dst_wl;
+                    c.banks = banks;
+                    prog.commands.push_back(std::move(c));
+                    cur_wl = dst_wl;
+                }
+                // Fold constants as immediate operands.
+                for (double imm : imms) {
+                    InMemCommand c;
+                    c.kind = CmdKind::Compute;
+                    c.group = id;
+                    c.op = n.fn;
+                    c.dtype = DType::Fp32;
+                    c.tensor = sub;
+                    c.wlA = cur_wl;
+                    c.useImm = true;
+                    c.imm = imm;
+                    c.wlDst = dst_wl;
+                    c.banks = banks;
+                    prog.commands.push_back(std::move(c));
+                    cur_wl = dst_wl;
+                }
+                // Unary non-const compute (e.g. relu): single command.
+                if (tensor_ops.size() == 1 && imms.empty()) {
+                    InMemCommand c;
+                    c.kind = CmdKind::Compute;
+                    c.group = id;
+                    c.op = n.fn;
+                    c.dtype = DType::Fp32;
+                    c.tensor = sub;
+                    c.wlA = cur_wl;
+                    c.wlB = cur_wl;
+                    c.wlDst = dst_wl;
+                    c.banks = banks;
+                    prog.commands.push_back(std::move(c));
+                }
+            }
+            loc[id] = {dst_wl, true};
+            break;
+          }
+          case TdfgKind::Reduce: {
+            syncIfPending();
+            const NodeLocation &src = loc[n.operands[0]];
+            unsigned dst_wl = allocSlot(id) * bits;
+            // Scratch register for the shifted operand of each tree
+            // round (the accumulator cannot alias its own shift source).
+            unsigned tmp_slot = ~0u;
+            for (unsigned sslot = 0; sslot < num_slots; ++sslot) {
+                if (!slot_busy[sslot]) {
+                    slot_busy[sslot] = true;
+                    tmp_slot = sslot;
+                    break;
+                }
+            }
+            infs_assert(tmp_slot != ~0u,
+                        "no scratch register for reduction (§6)");
+            unsigned tmp_wl = tmp_slot * bits;
+            const HyperRect &src_dom = g.domainOf(n.operands[0]);
+            // §4.2: interleaving compute and intra-tile shift commands to
+            // fully reduce each tile on the reduced dimension, then
+            // inter-tile rounds (synchronized) to combine the per-tile
+            // partials when the reduced extent spans multiple tiles.
+            Coord extent = std::min<Coord>(src_dom.size(n.dim),
+                                           layout.tileSize(n.dim));
+            unsigned rounds = ceilLog2(extent);
+            Coord tiles_along =
+                (src_dom.size(n.dim) + layout.tileSize(n.dim) - 1) /
+                layout.tileSize(n.dim);
+            unsigned inter_rounds = ceilLog2(tiles_along);
+            for (const HyperRect &sub :
+                 decomposeTensor(src_dom, layout.tile())) {
+                auto banks = banksOf(sub);
+                unsigned cur_wl = src.wl;
+                Coord live = std::min<Coord>(sub.size(n.dim),
+                                             layout.tileSize(n.dim));
+                for (unsigned r = 0; r < rounds; ++r) {
+                    // Halving tree over IN-TILE positions, every tile in
+                    // parallel: positions [0, live/2) accumulate
+                    // positions [live/2, live) shifted down by live/2.
+                    // The positional masks carry the live regions so
+                    // element accounting matches the tree reduction.
+                    Coord half = std::max<Coord>((live + 1) / 2, 1);
+                    InMemCommand sh;
+                    sh.kind = CmdKind::IntraShift;
+                    // Reduction rounds depend on each other: distinct
+                    // groups per round (2 * r + phase) per subtensor.
+                    sh.group = id * 64 + 2 * r;
+                    sh.tensor = sub;
+                    sh.dim = n.dim;
+                    sh.maskLo = half;
+                    sh.maskHi = live;
+                    sh.interTileDist = 0;
+                    sh.intraTileDist = -half;
+                    sh.dtype = DType::Fp32;
+                    sh.wlA = cur_wl;
+                    sh.wlDst = tmp_wl;
+                    sh.banks = banks;
+                    prog.commands.push_back(std::move(sh));
+                    InMemCommand c;
+                    c.kind = CmdKind::Compute;
+                    c.group = id * 64 + 2 * r + 1;
+                    c.op = n.fn;
+                    c.dtype = DType::Fp32;
+                    c.tensor = sub;
+                    c.dim = n.dim;
+                    c.maskLo = 0;
+                    c.maskHi = half;
+                    c.wlA = cur_wl;
+                    c.wlB = tmp_wl;
+                    c.wlDst = dst_wl;
+                    c.banks = banks;
+                    prog.commands.push_back(std::move(c));
+                    cur_wl = dst_wl;
+                    live = half;
+                }
+                // Cross-tile combination: tree rounds of inter-tile
+                // shifts, each a global synchronization point (§4.2).
+                Coord live_tiles = tiles_along;
+                for (unsigned r = 0; r < inter_rounds; ++r) {
+                    Coord half_tiles =
+                        std::max<Coord>((live_tiles + 1) / 2, 1);
+                    Coord active = half_tiles;
+                    HyperRect part = sub.withDim(
+                        n.dim, sub.lo(n.dim),
+                        sub.lo(n.dim) +
+                            std::max<Coord>(live_tiles *
+                                                layout.tileSize(n.dim),
+                                            1));
+                    InMemCommand sh;
+                    sh.kind = CmdKind::InterShift;
+                    sh.group = id * 64 + 32 + 2 * r;
+                    sh.tensor = part;
+                    sh.dim = n.dim;
+                    // Only the per-tile partials (one lane per tile,
+                    // position 0 after the in-tile reduction) move.
+                    sh.maskLo = 0;
+                    sh.maskHi = 1;
+                    sh.interTileDist = -half_tiles;
+                    live_tiles = half_tiles;
+                    sh.intraTileDist = 0;
+                    sh.dtype = DType::Fp32;
+                    sh.wlA = cur_wl;
+                    sh.wlDst = tmp_wl;
+                    sh.banks = banks;
+                    prog.commands.push_back(std::move(sh));
+                    InMemCommand sync;
+                    sync.kind = CmdKind::Sync;
+                    prog.commands.push_back(std::move(sync));
+                    InMemCommand c;
+                    c.kind = CmdKind::Compute;
+                    c.group = id * 64 + 33 + 2 * r;
+                    c.op = n.fn;
+                    c.dtype = DType::Fp32;
+                    // One partial lane (position 0) per surviving tile.
+                    c.tensor = sub.withDim(
+                        n.dim, sub.lo(n.dim),
+                        sub.lo(n.dim) +
+                            std::max<Coord>(active *
+                                                layout.tileSize(n.dim),
+                                            1));
+                    c.dim = n.dim;
+                    c.maskLo = 0;
+                    c.maskHi = 1;
+                    c.wlA = cur_wl;
+                    c.wlB = tmp_wl;
+                    c.wlDst = dst_wl;
+                    c.banks = banks;
+                    prog.commands.push_back(std::move(c));
+                    cur_wl = dst_wl;
+                }
+            }
+            slot_busy[tmp_slot] = false; // Scratch freed after the node.
+            loc[id] = {dst_wl, true};
+            break;
+          }
+          case TdfgKind::Stream: {
+            // Near-memory side; no in-memory command. A store stream's
+            // tensor value lives at its input's location; a load stream
+            // lays its data into freshly allocated wordlines
+            // (stream-to-tensor, §3.3).
+            if (!n.operands.empty())
+                loc[id] = loc[n.operands[0]];
+            else
+                loc[id] = {allocSlot(id) * bits, true};
+            break;
+          }
+        }
+        freeDeadSlots(id);
+    }
+    // Final sync so all inter-tile movement commits before the region
+    // completes (context switches wait on this, §5.3).
+    syncIfPending();
+
+    for (const auto &[a, s] : array_slot)
+        prog.arraySlots.emplace_back(a, s * bits);
+    for (const auto &o : g.outputs())
+        prog.outputSlots.emplace_back(o.array, loc[o.node].wl);
+
+    prog.recount();
+
+    // ---- JIT time model (§4.2): division of labor leaves mapping and
+    // command generation; bank mapping is the O(Nbank x Ncmd) term.
+    const TensorConfig &tc = cfg_.tensor;
+    double bank_work = 0;
+    for (const InMemCommand &c : prog.commands)
+        bank_work += static_cast<double>(c.banks.size());
+    prog.jitTicks = tc.jitFixedCycles +
+                    Tick(tc.jitPerNodeCycles) * g.size() +
+                    Tick(tc.jitPerCommandCycles) * prog.commands.size() +
+                    static_cast<Tick>(bank_work * 0.5);
+    return prog;
+}
+
+std::shared_ptr<const InMemProgram>
+JitCompiler::lower(const TdfgGraph &g, const TiledLayout &layout,
+                   const AddressMap &map, const std::string &memo_key)
+{
+    if (!memo_key.empty()) {
+        auto it = memo_.find(memo_key);
+        if (it != memo_.end()) {
+            ++stats_.memoHits;
+            return it->second;
+        }
+    }
+    auto prog = std::make_shared<InMemProgram>(doLower(g, layout, map));
+    ++stats_.lowerings;
+    stats_.totalJitTicks += prog->jitTicks;
+    if (!memo_key.empty()) {
+        auto memoized = std::make_shared<InMemProgram>(*prog);
+        memoized->memoized = true;
+        memoized->jitTicks = 0; // Cached reuse skips lowering.
+        memo_.emplace(memo_key, std::move(memoized));
+    }
+    return prog;
+}
+
+OffloadDecision
+decideOffload(const TdfgSummary &summary, const SystemConfig &cfg,
+              bool jit_precompiled)
+{
+    OffloadDecision d;
+    LatencyTable lat;
+    // LHS: N_elem x N_op / TP_core.
+    double n_ops = summary.numCompute + summary.numReduce;
+    d.coreCycles = static_cast<double>(summary.maxTensorElems) * n_ops /
+                   cfg.basePeakOpsPerCycle();
+    // RHS: sum of op latencies (fully parallel, no N_elem) + JIT time.
+    // The summary carries the aggregate op cycles (per-op-kind counts x
+    // latencies) the compiler embeds as hints (§4.3).
+    (void)lat;
+    double op_lat = static_cast<double>(summary.opCycles);
+    double jit = jit_precompiled
+                     ? 0.0
+                     : double(summary.numNodes) *
+                           cfg.tensor.jitPerNodeCycles +
+                           cfg.tensor.jitFixedCycles;
+    d.inMemCycles = op_lat + jit;
+    d.inMemory = d.coreCycles > d.inMemCycles;
+    return d;
+}
+
+} // namespace infs

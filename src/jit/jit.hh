@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The JIT runtime compiler (§4.2): lowers a scheduled tDFG into in-memory
+ * commands for a chosen tiled layout — tensor decomposition (Alg. 1),
+ * mv-to-shift compilation (Alg. 2), compute/broadcast/reduce lowering,
+ * mapping to L3 banks, synchronization insertion, and memoization.
+ */
+
+#ifndef INFS_JIT_JIT_HH
+#define INFS_JIT_JIT_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "jit/commands.hh"
+#include "jit/decompose.hh"
+#include "jit/tiling.hh"
+#include "sim/config.hh"
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/**
+ * Lower one mv of @p tensor by @p dist along @p dim into shift commands
+ * (paper Alg. 2). Commands whose mask does not intersect the tensor are
+ * filtered out. Does not fill the banks field.
+ */
+std::vector<InMemCommand> compileMove(const HyperRect &tensor, unsigned dim,
+                                      Coord dist, Coord tile_k);
+
+/** Per-node lowering result: where each node's value lives. */
+struct NodeLocation {
+    unsigned wl = 0;        ///< Start wordline of the value.
+    bool resident = false;  ///< True once assigned.
+};
+
+/** JIT statistics across a compiler's lifetime. */
+struct JitStats {
+    std::uint64_t lowerings = 0;   ///< Cold lowering runs.
+    std::uint64_t memoHits = 0;    ///< Programs served from the cache.
+    Tick totalJitTicks = 0;        ///< Modeled lowering time total.
+};
+
+/**
+ * The dynamic compiler. One instance per runtime; memoizes lowered
+ * programs across repeated executions of the same region (§4.2
+ * "Memoization", key for iterative algorithms like stencils).
+ */
+class JitCompiler
+{
+  public:
+    explicit JitCompiler(const SystemConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Lower @p g for layout @p layout. @p memo_key identifies the
+     * (region, parameters) pair for memoization; pass "" to disable.
+     * @returns shared program (possibly from cache).
+     */
+    std::shared_ptr<const InMemProgram>
+    lower(const TdfgGraph &g, const TiledLayout &layout,
+          const AddressMap &map, const std::string &memo_key = "");
+
+    const JitStats &stats() const { return stats_; }
+    void resetStats() { stats_ = JitStats{}; }
+
+    /** Number of wordline slots available per array (e.g. 8 for fp32). */
+    unsigned
+    numSlots() const
+    {
+        return cfg_.l3.wordlines / 32 - 1; // Top slot reserved for consts.
+    }
+
+  private:
+    InMemProgram doLower(const TdfgGraph &g, const TiledLayout &layout,
+                         const AddressMap &map);
+
+    SystemConfig cfg_;
+    JitStats stats_;
+    std::unordered_map<std::string, std::shared_ptr<const InMemProgram>>
+        memo_;
+};
+
+/** Eq. 2 offload decision (§4.3). */
+struct OffloadDecision {
+    bool inMemory = false;
+    double coreCycles = 0.0;   ///< LHS: core at peak throughput.
+    double inMemCycles = 0.0;  ///< RHS: op latencies + JIT time.
+};
+
+/**
+ * Decide in- vs near-memory from the tDFG's aggregate hints (the compiler
+ * embeds these so the runtime never walks the graph, §4.3).
+ */
+OffloadDecision decideOffload(const TdfgSummary &summary,
+                              const SystemConfig &cfg,
+                              bool jit_precompiled = false);
+
+} // namespace infs
+
+#endif // INFS_JIT_JIT_HH

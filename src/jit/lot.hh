@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Layout override table (LOT, §5.2 Table 1): tracks arrays cached in the
+ * transposed layout. The runtime initializes entries; the microarchitecture
+ * consults them to map physical addresses to bitlines and to block normal
+ * requests while transposition is in flight.
+ */
+
+#ifndef INFS_JIT_LOT_HH
+#define INFS_JIT_LOT_HH
+
+#include <optional>
+#include <vector>
+
+#include "jit/tiling.hh"
+#include "sim/types.hh"
+#include "stream/pattern.hh"
+
+namespace infs {
+
+/** Transpose state of a LOT region (Table 1 "trans"). */
+enum class TransposeState : std::uint8_t {
+    NotTransposed = 0,  ///< Data cached normally (or not at all).
+    InFlight = 1,       ///< TTU converting; core requests blocked.
+    Transposed = 2,     ///< Data resident in bit-serial layout.
+};
+
+/** One LOT region (Table 1). */
+struct LotEntry {
+    ArrayId array = invalidArray; ///< Which inf_array this region backs.
+    Addr base = 0;                ///< Base physical address.
+    Addr end = 0;                 ///< End physical address.
+    unsigned elemBytes = 4;       ///< Element size.
+    TiledLayout layout;           ///< Array + tile shape (S_i, T_i).
+    unsigned startWordline = 0;   ///< "wl": first wordline of this array.
+    TransposeState trans = TransposeState::NotTransposed;
+};
+
+/** The layout override table: a small fully-associative region table. */
+class Lot
+{
+  public:
+    explicit Lot(unsigned entries = 16) : capacity_(entries) {}
+
+    unsigned capacity() const { return capacity_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Install a region; fails (nullopt) when the table is full. */
+    std::optional<unsigned>
+    install(LotEntry entry)
+    {
+        if (entries_.size() >= capacity_)
+            return std::nullopt;
+        entries_.push_back(std::move(entry));
+        return static_cast<unsigned>(entries_.size() - 1);
+    }
+
+    /** Look up the region containing a physical address. */
+    LotEntry *
+    findByAddr(Addr addr)
+    {
+        for (LotEntry &e : entries_)
+            if (addr >= e.base && addr < e.end)
+                return &e;
+        return nullptr;
+    }
+
+    /** Look up the region backing an array. */
+    LotEntry *
+    findByArray(ArrayId array)
+    {
+        for (LotEntry &e : entries_)
+            if (e.array == array)
+                return &e;
+        return nullptr;
+    }
+
+    const std::vector<LotEntry> &entries() const { return entries_; }
+    std::vector<LotEntry> &entries() { return entries_; }
+
+    /**
+     * Acquire the single-thread in-memory lock (§6 limitation 1).
+     * @return false when another thread holds it.
+     */
+    bool
+    lock(int thread)
+    {
+        if (owner_ >= 0 && owner_ != thread)
+            return false;
+        owner_ = thread;
+        return true;
+    }
+
+    void
+    unlock(int thread)
+    {
+        if (owner_ == thread)
+            owner_ = -1;
+    }
+
+    bool locked() const { return owner_ >= 0; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        owner_ = -1;
+    }
+
+  private:
+    unsigned capacity_;
+    std::vector<LotEntry> entries_;
+    int owner_ = -1;
+};
+
+} // namespace infs
+
+#endif // INFS_JIT_LOT_HH

@@ -1,0 +1,308 @@
+#include "jit/tiling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace infs {
+
+LayoutHints
+LayoutHints::fromGraph(const TdfgGraph &g)
+{
+    LayoutHints h;
+    for (const TdfgNode &n : g.nodes()) {
+        switch (n.kind) {
+          case TdfgKind::Move:
+            if (n.dist != 0)
+                h.shiftDims.insert(n.dim);
+            break;
+          case TdfgKind::Broadcast:
+            h.broadcastDims.insert(n.dim);
+            break;
+          case TdfgKind::Reduce:
+            h.reduceDim = n.dim;
+            break;
+          default:
+            break;
+        }
+    }
+    return h;
+}
+
+TiledLayout::TiledLayout(std::vector<Coord> shape, std::vector<Coord> tile)
+    : shape_(std::move(shape)), tile_(std::move(tile))
+{
+    infs_assert(shape_.size() == tile_.size(),
+                "shape rank %zu != tile rank %zu", shape_.size(),
+                tile_.size());
+    grid_.resize(shape_.size());
+    for (std::size_t d = 0; d < shape_.size(); ++d) {
+        infs_assert(tile_[d] > 0, "tile dim %zu must be positive", d);
+        grid_[d] = (shape_[d] + tile_[d] - 1) / tile_[d];
+    }
+}
+
+std::int64_t
+TiledLayout::numTiles() const
+{
+    std::int64_t n = 1;
+    for (Coord g : grid_)
+        n *= g;
+    return n;
+}
+
+std::int64_t
+TiledLayout::tileVolume() const
+{
+    std::int64_t v = 1;
+    for (Coord t : tile_)
+        v *= t;
+    return v;
+}
+
+std::int64_t
+TiledLayout::tileOf(const std::vector<Coord> &pt) const
+{
+    infs_assert(pt.size() == shape_.size(), "point rank mismatch");
+    std::int64_t idx = 0;
+    std::int64_t mult = 1;
+    for (std::size_t d = 0; d < shape_.size(); ++d) {
+        Coord td = pt[d] / tile_[d];
+        infs_assert(pt[d] >= 0 && td < grid_[d], "point outside array");
+        idx += td * mult;
+        mult *= grid_[d];
+    }
+    return idx;
+}
+
+std::int64_t
+TiledLayout::positionInTile(const std::vector<Coord> &pt) const
+{
+    std::int64_t idx = 0;
+    std::int64_t mult = 1;
+    for (std::size_t d = 0; d < shape_.size(); ++d) {
+        idx += (pt[d] % tile_[d]) * mult;
+        mult *= tile_[d];
+    }
+    return idx;
+}
+
+std::vector<std::int64_t>
+TiledLayout::tilesIntersecting(const HyperRect &r) const
+{
+    std::vector<std::int64_t> out;
+    if (r.empty())
+        return out;
+    // Tile-grid sub-rectangle covered by r (clamped to the array).
+    std::vector<Coord> lo(dims()), hi(dims());
+    for (unsigned d = 0; d < dims(); ++d) {
+        Coord rlo = std::max<Coord>(r.lo(d), 0);
+        Coord rhi = std::min<Coord>(r.hi(d), shape_[d]);
+        if (rhi <= rlo)
+            return out;
+        lo[d] = rlo / tile_[d];
+        hi[d] = (rhi - 1) / tile_[d] + 1;
+    }
+    // Enumerate the tile sub-grid.
+    std::vector<Coord> t = lo;
+    while (true) {
+        std::int64_t idx = 0, mult = 1;
+        for (unsigned d = 0; d < dims(); ++d) {
+            idx += t[d] * mult;
+            mult *= grid_[d];
+        }
+        out.push_back(idx);
+        unsigned d = 0;
+        for (; d < dims(); ++d) {
+            if (++t[d] < hi[d])
+                break;
+            t[d] = lo[d];
+        }
+        if (d == dims())
+            break;
+    }
+    return out;
+}
+
+std::int64_t
+TiledLayout::countTilesIntersecting(const HyperRect &r) const
+{
+    if (r.empty())
+        return 0;
+    std::int64_t count = 1;
+    for (unsigned d = 0; d < dims(); ++d) {
+        Coord rlo = std::max<Coord>(r.lo(d), 0);
+        Coord rhi = std::min<Coord>(r.hi(d), shape_[d]);
+        if (rhi <= rlo)
+            return 0;
+        count *= (rhi - 1) / tile_[d] - rlo / tile_[d] + 1;
+    }
+    return count;
+}
+
+std::vector<BankId>
+TiledLayout::banksFor(const HyperRect &r, const AddressMap &map) const
+{
+    std::vector<BankId> banks;
+    const unsigned num_banks = map.l3().numBanks;
+    std::vector<bool> seen(num_banks, false);
+    // Lazy enumeration with early exit: once every bank participates
+    // there is nothing left to learn (large tensors hit all banks within
+    // the first few tiles of the round-robin mapping).
+    if (r.empty())
+        return banks;
+    std::vector<Coord> lo(dims()), hi(dims());
+    for (unsigned d = 0; d < dims(); ++d) {
+        Coord rlo = std::max<Coord>(r.lo(d), 0);
+        Coord rhi = std::min<Coord>(r.hi(d), shape_[d]);
+        if (rhi <= rlo)
+            return banks;
+        lo[d] = rlo / tile_[d];
+        hi[d] = (rhi - 1) / tile_[d] + 1;
+    }
+    std::vector<Coord> t = lo;
+    while (true) {
+        std::int64_t idx = 0, mult = 1;
+        for (unsigned d = 0; d < dims(); ++d) {
+            idx += t[d] * mult;
+            mult *= grid_[d];
+        }
+        BankId b = map.tileToArray(static_cast<std::uint64_t>(idx)).bank;
+        if (!seen[b]) {
+            seen[b] = true;
+            banks.push_back(b);
+            if (banks.size() == num_banks)
+                break;
+        }
+        unsigned d = 0;
+        for (; d < dims(); ++d) {
+            if (++t[d] < hi[d])
+                break;
+            t[d] = lo[d];
+        }
+        if (d == dims())
+            break;
+    }
+    std::sort(banks.begin(), banks.end());
+    return banks;
+}
+
+bool
+TiledLayout::fits(const AddressMap &map) const
+{
+    return static_cast<std::uint64_t>(numTiles()) <= map.totalArrays();
+}
+
+namespace {
+
+/** Recursively enumerate factorizations of @p remaining across dims. */
+void
+enumerateTiles(std::int64_t remaining, unsigned dim, unsigned dims,
+               std::vector<Coord> &cur,
+               std::vector<std::vector<Coord>> &out)
+{
+    if (dim == dims - 1) {
+        cur[dim] = remaining;
+        out.push_back(cur);
+        return;
+    }
+    for (Coord t = 1; t <= remaining; t *= 2) {
+        if (remaining % t != 0)
+            continue;
+        cur[dim] = t;
+        enumerateTiles(remaining / t, dim + 1, dims, cur, out);
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<Coord>>
+TilingPolicy::validTiles(const std::vector<Coord> &shape,
+                         unsigned elem_bytes) const
+{
+    std::vector<std::vector<Coord>> out;
+    const unsigned dims = static_cast<unsigned>(shape.size());
+    if (dims == 0 || dims > 3)
+        return out;
+    const std::int64_t B = l3_.bitlines;
+    const std::int64_t L =
+        static_cast<std::int64_t>(lineBytes / elem_bytes);
+    const std::int64_t W =
+        static_cast<std::int64_t>(l3_.computeWays) * l3_.arraysPerWay;
+
+    // Innermost dimension must align to the cache line so transposed lines
+    // are not split across banks (§4.1).
+    if (shape[0] % L != 0)
+        return out;
+
+    std::vector<Coord> cur(dims, 1);
+    std::vector<std::vector<Coord>> all;
+    enumerateTiles(B, 0, dims, cur, all);
+    for (auto &tile : all) {
+        // Constraint 1 holds by construction (prod == B).
+        // Constraint 2: T0 * W mod L == 0.
+        if ((tile[0] * W) % L != 0)
+            continue;
+        out.push_back(tile);
+    }
+    return out;
+}
+
+double
+TilingPolicy::score(const std::vector<Coord> &tile,
+                    const std::vector<Coord> &shape,
+                    const LayoutHints &hints) const
+{
+    // Higher is better. Priority weights: reduction 1.5e3 per doubling,
+    // shift imbalance 1e3 per log2 step, broadcast 1 ("we prioritize by
+    // the order of reduction, shift, and broadcast", §4.1). Reduction
+    // outranks broadcast outright; against shifts the balanced tile
+    // wins once the imbalance cost of growing the reduced dimension
+    // exceeds the extra in-tile reduction rounds.
+    double s = 0.0;
+    const unsigned dims = static_cast<unsigned>(tile.size());
+
+    if (hints.reduceDim && *hints.reduceDim < dims) {
+        unsigned r = *hints.reduceDim;
+        // Larger tile on the reduced dimension allows more rounds of
+        // in-memory reduction; cap at the array extent (a tile larger
+        // than the data adds nothing).
+        double useful =
+            static_cast<double>(std::min<Coord>(tile[r], shape[r]));
+        s += 1.5e3 * std::log2(useful);
+    }
+    if (!hints.shiftDims.empty()) {
+        // Close-to-square across the shifted dims: penalize imbalance.
+        double imbalance = 0.0;
+        double target = std::log2(static_cast<double>(l3_.bitlines)) /
+                        static_cast<double>(dims);
+        for (unsigned d = 0; d < dims; ++d)
+            imbalance += std::abs(std::log2(
+                             static_cast<double>(tile[d])) - target);
+        s += 1e3 * (-imbalance);
+    }
+    for (unsigned d : hints.broadcastDims) {
+        (void)d;
+        // Smaller innermost tile spreads a broadcast row over more banks.
+        s += -std::log2(static_cast<double>(tile[0]));
+        break; // One broadcast contribution is enough.
+    }
+    return s;
+}
+
+TileDecision
+TilingPolicy::choose(const std::vector<Coord> &shape, unsigned elem_bytes,
+                     const LayoutHints &hints) const
+{
+    TileDecision best;
+    for (const auto &tile : validTiles(shape, elem_bytes)) {
+        double sc = score(tile, shape, hints);
+        if (!best.valid || sc > best.score) {
+            best.valid = true;
+            best.tile = tile;
+            best.score = sc;
+        }
+    }
+    return best;
+}
+
+} // namespace infs

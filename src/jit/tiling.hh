@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Transposed data layout selection (§4.1). A tile is the set of data
+ * dimensions mapped to one SRAM array; the runtime searches tile sizes
+ * meeting the paper's two constraints and picks one with movement-aware
+ * heuristics (reduction > shift > broadcast priority).
+ */
+
+#ifndef INFS_JIT_TILING_HH
+#define INFS_JIT_TILING_HH
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "sim/config.hh"
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/** Data-movement hints the compiler derives from the tDFG (§3.4). */
+struct LayoutHints {
+    std::set<unsigned> shiftDims;      ///< Dimensions mv nodes shift along.
+    std::set<unsigned> broadcastDims;  ///< Dimensions bc nodes expand.
+    std::optional<unsigned> reduceDim; ///< Reduced dimension, if any.
+
+    /** Derive hints by scanning a tDFG's data-movement nodes. */
+    static LayoutHints fromGraph(const TdfgGraph &g);
+};
+
+/**
+ * The tiled, transposed layout of one array: how lattice coordinates map
+ * to (tile, position-in-tile), and tiles map contiguously to SRAM arrays.
+ */
+class TiledLayout
+{
+  public:
+    TiledLayout() = default;
+    TiledLayout(std::vector<Coord> shape, std::vector<Coord> tile);
+
+    unsigned dims() const { return static_cast<unsigned>(shape_.size()); }
+    const std::vector<Coord> &shape() const { return shape_; }
+    const std::vector<Coord> &tile() const { return tile_; }
+    Coord tileSize(unsigned d) const { return tile_[d]; }
+
+    /** Tiles per dimension (ceil division; boundary tiles possible). */
+    const std::vector<Coord> &grid() const { return grid_; }
+
+    /** Total number of tiles. */
+    std::int64_t numTiles() const;
+
+    /** Bitlines per tile (product of tile dims). */
+    std::int64_t tileVolume() const;
+
+    /** Linear tile index containing a lattice coordinate. */
+    std::int64_t tileOf(const std::vector<Coord> &pt) const;
+
+    /** Bitline index within the tile for a lattice coordinate. */
+    std::int64_t positionInTile(const std::vector<Coord> &pt) const;
+
+    /** Linear tile indices whose tiles intersect @p r. */
+    std::vector<std::int64_t> tilesIntersecting(const HyperRect &r) const;
+
+    /** Number of tiles intersecting @p r (O(dims), no enumeration). */
+    std::int64_t countTilesIntersecting(const HyperRect &r) const;
+
+    /** L3 banks owning any tile intersecting @p r. */
+    std::vector<BankId> banksFor(const HyperRect &r,
+                                 const AddressMap &map) const;
+
+    /** Whether a whole-array element count fits the available arrays. */
+    bool fits(const AddressMap &map) const;
+
+  private:
+    std::vector<Coord> shape_;
+    std::vector<Coord> tile_;
+    std::vector<Coord> grid_;
+};
+
+/** Result of the runtime's tile-size search. */
+struct TileDecision {
+    bool valid = false;
+    std::vector<Coord> tile;
+    double score = 0.0;
+};
+
+/**
+ * §4.1 tile-size search. @p elem_bytes is the element size, @p shape the
+ * array shape (dim 0 innermost / contiguous).
+ */
+class TilingPolicy
+{
+  public:
+    explicit TilingPolicy(const L3Config &l3) : l3_(l3) {}
+
+    /**
+     * All tile sizes satisfying the constraints:
+     *  (1) prod(T_i) == bitlines per SRAM array;
+     *  (2) T0 * W mod L == 0 (W arrays/bank, L elements/line);
+     * plus the array's innermost dimension aligning to the cache line
+     * (S0 mod L == 0). Returns empty when the array is not tileable (then
+     * in-memory computing is disabled, §4.1).
+     */
+    std::vector<std::vector<Coord>>
+    validTiles(const std::vector<Coord> &shape, unsigned elem_bytes) const;
+
+    /**
+     * Pick a tile using the movement heuristics:
+     *  - reduction favors a large tile on the reduced dimension;
+     *  - shifts favor close-to-square tiles;
+     *  - broadcast reads favor a small innermost tile;
+     *  - priority: reduction > shift > broadcast.
+     */
+    TileDecision choose(const std::vector<Coord> &shape, unsigned elem_bytes,
+                        const LayoutHints &hints) const;
+
+    /** Score one candidate (exposed for the Fig. 16/17 oracle sweep). */
+    double score(const std::vector<Coord> &tile,
+                 const std::vector<Coord> &shape,
+                 const LayoutHints &hints) const;
+
+  private:
+    L3Config l3_;
+};
+
+} // namespace infs
+
+#endif // INFS_JIT_TILING_HH

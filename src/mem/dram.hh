@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bandwidth-limited DRAM model (DDR4-3200, 25.6 GB/s per Table 2). The
+ * executors account aggregate transfers; the model converts bytes to
+ * occupancy cycles and tracks totals for traffic and energy statistics.
+ */
+
+#ifndef INFS_MEM_DRAM_HH
+#define INFS_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Aggregate DRAM bandwidth/latency model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg, double core_ghz = 2.0)
+        : cfg_(cfg), ghz_(core_ghz)
+    {
+    }
+
+    /**
+     * Account a bulk transfer of @p bytes (read or write).
+     * @return Occupancy in core cycles at peak bandwidth, plus the loaded
+     * access latency for the first line.
+     */
+    Tick
+    transfer(Bytes bytes)
+    {
+        totalBytes_ += bytes;
+        return occupancy(bytes) + cfg_.latency;
+    }
+
+    /** Cycles the channel is busy moving @p bytes (no latency). */
+    Tick
+    occupancy(Bytes bytes) const
+    {
+        double cycles = static_cast<double>(bytes) / cfg_.bytesPerCycle(ghz_);
+        return static_cast<Tick>(cycles + 0.5);
+    }
+
+    Bytes totalBytes() const { return totalBytes_; }
+    void resetStats() { totalBytes_ = 0; }
+
+    const DramConfig &config() const { return cfg_; }
+
+  private:
+    DramConfig cfg_;
+    double ghz_;
+    Bytes totalBytes_ = 0;
+};
+
+} // namespace infs
+
+#endif // INFS_MEM_DRAM_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared L3 model: per-bank access accounting, way reservation for
+ * in-memory computing, and aggregate streaming bandwidth. Each bank's data
+ * port moves `htreeBandwidth` bytes per cycle (Table 2: 5-level H tree,
+ * 64 B total bandwidth per bank).
+ */
+
+#ifndef INFS_MEM_L3_MODEL_HH
+#define INFS_MEM_L3_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Shared L3 cache model (timing + occupancy accounting; no tag array). */
+class L3Model
+{
+  public:
+    explicit L3Model(const L3Config &cfg)
+        : cfg_(cfg), reservedWays_(cfg.numBanks, 0)
+    {
+    }
+
+    const L3Config &config() const { return cfg_; }
+
+    /** Account @p bytes read from bank @p bank. */
+    void
+    read(BankId bank, Bytes bytes)
+    {
+        checkBank(bank);
+        bytesRead_ += bytes;
+    }
+
+    /** Account @p bytes written to bank @p bank. */
+    void
+    write(BankId bank, Bytes bytes)
+    {
+        checkBank(bank);
+        bytesWritten_ += bytes;
+    }
+
+    /**
+     * Cycles for @p banks banks to stream @p bytes in aggregate at their
+     * combined port bandwidth, plus one bank access latency.
+     */
+    Tick
+    streamCycles(Bytes bytes, unsigned banks) const
+    {
+        infs_assert(banks > 0 && banks <= cfg_.numBanks,
+                    "bad bank count %u", banks);
+        double bw = static_cast<double>(cfg_.htreeBandwidth) * banks;
+        return static_cast<Tick>(static_cast<double>(bytes) / bw + 0.5) +
+               cfg_.bankLatency;
+    }
+
+    /**
+     * Reserve @p ways compute ways in every bank for in-memory computing.
+     * @return false if more ways are requested than reservable.
+     */
+    bool
+    reserveWays(unsigned ways)
+    {
+        if (ways > cfg_.computeWays)
+            return false;
+        for (auto &r : reservedWays_) {
+            if (r + ways > cfg_.computeWays)
+                return false;
+        }
+        for (auto &r : reservedWays_)
+            r += ways;
+        return true;
+    }
+
+    /** Release @p ways previously reserved compute ways in every bank. */
+    void
+    releaseWays(unsigned ways)
+    {
+        for (auto &r : reservedWays_) {
+            infs_assert(r >= ways, "releasing %u of %u reserved ways", ways,
+                        r);
+            r -= ways;
+        }
+    }
+
+    unsigned
+    reservedWays(BankId bank) const
+    {
+        checkBank(bank);
+        return reservedWays_[bank];
+    }
+
+    /** Cache capacity left for normal (non-compute) use, in bytes. */
+    Bytes
+    normalCapacity() const
+    {
+        Bytes per_way =
+            Bytes(cfg_.arraysPerWay) * cfg_.arrayBytes() * cfg_.numBanks;
+        unsigned free_ways = cfg_.waysPerBank - reservedWays_[0];
+        return per_way * free_ways;
+    }
+
+    Bytes bytesRead() const { return bytesRead_; }
+    Bytes bytesWritten() const { return bytesWritten_; }
+
+    void
+    resetStats()
+    {
+        bytesRead_ = 0;
+        bytesWritten_ = 0;
+    }
+
+  private:
+    void
+    checkBank(BankId bank) const
+    {
+        infs_assert(bank < cfg_.numBanks, "bank %u out of %u", bank,
+                    cfg_.numBanks);
+    }
+
+    L3Config cfg_;
+    std::vector<unsigned> reservedWays_;
+    Bytes bytesRead_ = 0;
+    Bytes bytesWritten_ = 0;
+};
+
+} // namespace infs
+
+#endif // INFS_MEM_L3_MODEL_HH

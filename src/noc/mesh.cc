@@ -1,0 +1,194 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Control: return "control";
+      case TrafficClass::Data: return "data";
+      case TrafficClass::Offload: return "offload";
+      case TrafficClass::InterTile: return "inter_tile";
+    }
+    return "?";
+}
+
+MeshNoc::MeshNoc(const NocConfig &cfg) : cfg_(cfg)
+{
+    // Directed links: 4 per node is an overestimate at edges but indexing
+    // is simple; nonexistent edge links are simply never charged.
+    links_.assign(static_cast<std::size_t>(numNodes()) * 4, 0.0);
+}
+
+MeshCoord
+MeshNoc::coord(BankId node) const
+{
+    infs_assert(node < numNodes(), "node %u out of %u", node, numNodes());
+    return MeshCoord{node % cfg_.meshX, node / cfg_.meshX};
+}
+
+BankId
+MeshNoc::node(MeshCoord c) const
+{
+    infs_assert(c.x < cfg_.meshX && c.y < cfg_.meshY, "coord out of mesh");
+    return c.y * cfg_.meshX + c.x;
+}
+
+unsigned
+MeshNoc::hops(BankId src, BankId dst) const
+{
+    MeshCoord a = coord(src), b = coord(dst);
+    unsigned dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    unsigned dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy;
+}
+
+unsigned
+MeshNoc::linkIndex(BankId from, BankId to) const
+{
+    MeshCoord a = coord(from), b = coord(to);
+    unsigned dir;
+    if (b.x == a.x + 1 && b.y == a.y)
+        dir = 0; // east
+    else if (a.x == b.x + 1 && b.y == a.y)
+        dir = 1; // west
+    else if (b.y == a.y + 1 && b.x == a.x)
+        dir = 2; // north
+    else if (a.y == b.y + 1 && b.x == a.x)
+        dir = 3; // south
+    else
+        infs_panic("nodes %u and %u are not adjacent", from, to);
+    return from * 4 + dir;
+}
+
+void
+MeshNoc::route(BankId src, BankId dst, std::vector<unsigned> &out) const
+{
+    // X-Y dimension-ordered routing: travel X first, then Y.
+    MeshCoord cur = coord(src);
+    MeshCoord end = coord(dst);
+    while (cur.x != end.x) {
+        MeshCoord next = cur;
+        next.x += (end.x > cur.x) ? 1 : -1;
+        out.push_back(linkIndex(node(cur), node(next)));
+        cur = next;
+    }
+    while (cur.y != end.y) {
+        MeshCoord next = cur;
+        next.y += (end.y > cur.y) ? 1 : -1;
+        out.push_back(linkIndex(node(cur), node(next)));
+        cur = next;
+    }
+}
+
+void
+MeshNoc::chargeLink(unsigned link, Bytes bytes)
+{
+    links_[link] += static_cast<double>(bytes);
+}
+
+Tick
+MeshNoc::send(BankId src, BankId dst, Bytes bytes, TrafficClass cls)
+{
+    unsigned h = hops(src, dst);
+    hopBytes_[static_cast<unsigned>(cls)] +=
+        static_cast<double>(bytes) * h;
+    if (h > 0) {
+        scratchRoute_.clear();
+        route(src, dst, scratchRoute_);
+        for (unsigned link : scratchRoute_)
+            chargeLink(link, bytes);
+    }
+    Tick serialization = (bytes + cfg_.linkBytes - 1) / cfg_.linkBytes;
+    return Tick(h) * (cfg_.routerStages + cfg_.linkLatency) +
+           (serialization > 0 ? serialization - 1 : 0);
+}
+
+Tick
+MeshNoc::multicast(BankId src, const std::vector<BankId> &dsts, Bytes bytes,
+                   TrafficClass cls)
+{
+    // Union of X-Y routes; each tree link charged once.
+    std::set<unsigned> tree;
+    unsigned max_hops = 0;
+    std::vector<unsigned> r;
+    for (BankId dst : dsts) {
+        if (dst == src)
+            continue;
+        r.clear();
+        route(src, dst, r);
+        tree.insert(r.begin(), r.end());
+        max_hops = std::max(max_hops, hops(src, dst));
+    }
+    hopBytes_[static_cast<unsigned>(cls)] +=
+        static_cast<double>(bytes) * tree.size();
+    for (unsigned link : tree)
+        chargeLink(link, bytes);
+    Tick serialization = (bytes + cfg_.linkBytes - 1) / cfg_.linkBytes;
+    return Tick(max_hops) * (cfg_.routerStages + cfg_.linkLatency) +
+           (serialization > 0 ? serialization - 1 : 0);
+}
+
+void
+MeshNoc::accountBulk(double bytes, double avg_hops, TrafficClass cls)
+{
+    double hop_bytes = bytes * avg_hops;
+    hopBytes_[static_cast<unsigned>(cls)] += hop_bytes;
+    // Spread occupancy uniformly over the physical links.
+    double per_link = hop_bytes / static_cast<double>(links_.size());
+    for (double &l : links_)
+        l += per_link;
+}
+
+double
+MeshNoc::avgHops() const
+{
+    // Mean Manhattan distance on an X x Y mesh: (X^2-1)/(3X) + (Y^2-1)/(3Y).
+    double x = cfg_.meshX, y = cfg_.meshY;
+    return (x * x - 1.0) / (3.0 * x) + (y * y - 1.0) / (3.0 * y);
+}
+
+double
+MeshNoc::hopBytes(TrafficClass cls) const
+{
+    return hopBytes_[static_cast<unsigned>(cls)];
+}
+
+double
+MeshNoc::totalHopBytes() const
+{
+    double t = 0.0;
+    for (double v : hopBytes_)
+        t += v;
+    return t;
+}
+
+double
+MeshNoc::utilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    double busy_cycles = 0.0;
+    for (double b : links_)
+        busy_cycles += b / static_cast<double>(cfg_.linkBytes);
+    // Count only links that physically exist (interior of the mesh):
+    // horizontal: (X-1)*Y per direction, vertical: X*(Y-1) per direction.
+    double real_links =
+        2.0 * ((cfg_.meshX - 1) * cfg_.meshY + cfg_.meshX * (cfg_.meshY - 1));
+    return busy_cycles / (real_links * static_cast<double>(elapsed));
+}
+
+void
+MeshNoc::resetStats()
+{
+    hopBytes_.fill(0.0);
+    std::fill(links_.begin(), links_.end(), 0.0);
+}
+
+} // namespace infs

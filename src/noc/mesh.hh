@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 8x8 mesh network-on-chip model: X-Y dimension-ordered routing, per-link
+ * bandwidth and utilization accounting, multicast trees, and traffic
+ * categorization matching the paper's Fig. 12/13 breakdown (control / data /
+ * offload / inter-tile).
+ */
+
+#ifndef INFS_NOC_MESH_HH
+#define INFS_NOC_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Traffic categories for the paper's breakdown figures. */
+enum class TrafficClass : std::uint8_t {
+    Control,     ///< Coherence control messages.
+    Data,        ///< Moving data (request/response payloads).
+    Offload,     ///< Managing offloaded computation (streams, sync).
+    InterTile,   ///< Inter-tile shifts routed over the NoC (Inf-S only).
+};
+
+inline constexpr unsigned numTrafficClasses = 4;
+
+/** Human-readable traffic class name. */
+const char *trafficClassName(TrafficClass c);
+
+/** (x, y) position on the mesh. */
+struct MeshCoord {
+    unsigned x = 0;
+    unsigned y = 0;
+    bool operator==(const MeshCoord &o) const = default;
+};
+
+/**
+ * The mesh NoC. Messages are accounted analytically: each message charges
+ * bytes x hops to its traffic class and occupies the traversed links for
+ * its serialization time, which feeds the utilization statistic.
+ */
+class MeshNoc
+{
+  public:
+    explicit MeshNoc(const NocConfig &cfg);
+
+    unsigned numNodes() const { return cfg_.meshX * cfg_.meshY; }
+    unsigned numLinks() const { return static_cast<unsigned>(links_.size()); }
+
+    MeshCoord coord(BankId node) const;
+    BankId node(MeshCoord c) const;
+
+    /** Manhattan hop distance between two nodes. */
+    unsigned hops(BankId src, BankId dst) const;
+
+    /**
+     * Account a unicast message.
+     * @return Latency in ticks for the head to reach dst plus
+     * serialization of the payload.
+     */
+    Tick send(BankId src, BankId dst, Bytes bytes, TrafficClass cls);
+
+    /**
+     * Account a multicast along the X-Y tree from @p src to @p dsts.
+     * Shared tree links are charged once (the paper's routers support
+     * multicast). @return Latency to the farthest destination.
+     */
+    Tick multicast(BankId src, const std::vector<BankId> &dsts, Bytes bytes,
+                   TrafficClass cls);
+
+    /**
+     * Account bulk traffic analytically: @p bytes moving an average of
+     * @p avg_hops hops. Used for aggregate flows (stream forwarding)
+     * where per-message routing is not enumerated; link occupancy is
+     * spread uniformly.
+     */
+    void accountBulk(double bytes, double avg_hops, TrafficClass cls);
+
+    /** Mean hop distance between two uniformly random distinct nodes. */
+    double avgHops() const;
+
+    /** Total bytes x hops accounted to a class. */
+    double hopBytes(TrafficClass cls) const;
+
+    /** Total bytes x hops across all classes. */
+    double totalHopBytes() const;
+
+    /**
+     * Average link utilization in [0, 1] over @p elapsed ticks: busy
+     * link-cycles / (links x elapsed).
+     */
+    double utilization(Tick elapsed) const;
+
+    /** Zero all traffic accounting. */
+    void resetStats();
+
+    const NocConfig &config() const { return cfg_; }
+
+  private:
+    /** Link index for the hop from node @p from toward adjacent @p to. */
+    unsigned linkIndex(BankId from, BankId to) const;
+
+    /** Enumerate the X-Y route src -> dst as a list of link indices. */
+    void route(BankId src, BankId dst, std::vector<unsigned> &out) const;
+
+    void chargeLink(unsigned link, Bytes bytes);
+
+    NocConfig cfg_;
+    std::array<double, numTrafficClasses> hopBytes_{};
+    // Busy byte-count per directed link (bytes / linkBytes = busy cycles).
+    std::vector<double> links_;
+    mutable std::vector<unsigned> scratchRoute_;
+};
+
+} // namespace infs
+
+#endif // INFS_NOC_MESH_HH

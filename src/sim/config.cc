@@ -1,0 +1,43 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace infs {
+
+std::string
+SystemConfig::summary() const
+{
+    std::ostringstream os;
+    os << numCores() << " cores @ " << core.ghz << "GHz, "
+       << noc.meshX << "x" << noc.meshY << " mesh, L3 "
+       << (l3.totalBytes() >> 20) << "MB (" << l3.numBanks << " banks x "
+       << l3.waysPerBank << " ways x " << l3.arraysPerWay << " arrays of "
+       << l3.wordlines << "x" << l3.bitlines << "), "
+       << (l3.totalBitlines() >> 20) << "M bitlines, DRAM "
+       << dram.bandwidthGBs << "GB/s";
+    return os.str();
+}
+
+SystemConfig
+defaultSystemConfig()
+{
+    return SystemConfig{};
+}
+
+SystemConfig
+testSystemConfig()
+{
+    SystemConfig cfg;
+    cfg.noc.meshX = 4;
+    cfg.noc.meshY = 4;
+    cfg.l3.numBanks = 16;
+    cfg.l3.waysPerBank = 18;
+    cfg.l3.computeWays = 16;
+    cfg.l3.arraysPerWay = 4;
+    cfg.l3.wordlines = 256;
+    cfg.l3.bitlines = 256;
+    cfg.stream.l3Streams = 192;
+    return cfg;
+}
+
+} // namespace infs

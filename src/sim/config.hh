@@ -1,0 +1,157 @@
+/**
+ * @file
+ * System and microarchitecture parameters (paper Table 2). All simulated
+ * components are constructed from one SystemConfig so experiments can sweep
+ * parameters without recompiling.
+ */
+
+#ifndef INFS_SIM_CONFIG_HH
+#define INFS_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Core pipeline model parameters (issue-limited abstract OOO8). */
+struct CoreConfig {
+    double ghz = 2.0;              ///< Clock frequency.
+    unsigned issueWidth = 8;       ///< Micro-ops issued per cycle.
+    unsigned simdLanesFp32 = 16;   ///< One 512-bit vector op per cycle.
+    Tick fpAluLatency = 4;         ///< FP ALU/SIMD latency.
+    Tick intAluLatency = 1;        ///< Int ALU latency.
+    Tick fpDivLatency = 12;
+    Tick intMulLatency = 3;
+};
+
+/** Private cache parameters. */
+struct CacheConfig {
+    Bytes l1Bytes = 32 * 1024;
+    Tick l1Latency = 2;
+    Bytes l2Bytes = 256 * 1024;
+    Tick l2Latency = 16;
+    /** L1/L2 prefetchers modeled as a hit-rate boost for streaming loads. */
+    double prefetchAccuracy = 0.9;
+};
+
+/** Shared L3 (NUCA) parameters. */
+struct L3Config {
+    unsigned numBanks = 64;           ///< One bank per tile, 8x8.
+    unsigned waysPerBank = 18;        ///< 18 ways; 16 reservable.
+    unsigned computeWays = 16;        ///< Ways reservable for in-memory.
+    unsigned arraysPerWay = 16;       ///< 256x256 SRAM arrays per way.
+    unsigned wordlines = 256;         ///< Rows per SRAM array.
+    unsigned bitlines = 256;          ///< Columns (PEs) per SRAM array.
+    Tick bankLatency = 20;            ///< Access latency per Table 2.
+    Bytes interleave = 1024;          ///< Static NUCA interleave granule.
+    Bytes htreeBandwidth = 64;        ///< H-tree total bytes/cycle per bank.
+
+    /** Bytes of one SRAM array (256x256 bits = 8kB). */
+    Bytes arrayBytes() const { return Bytes(wordlines) * bitlines / 8; }
+    /** Total capacity in bytes across all ways. */
+    Bytes totalBytes() const
+    {
+        return Bytes(numBanks) * waysPerBank * arraysPerWay * arrayBytes();
+    }
+    /** Compute-reservable capacity in bytes. */
+    Bytes computeBytes() const
+    {
+        return Bytes(numBanks) * computeWays * arraysPerWay * arrayBytes();
+    }
+    /** Total compute SRAM arrays available for in-memory execution. */
+    std::uint64_t totalComputeArrays() const
+    {
+        return std::uint64_t(numBanks) * computeWays * arraysPerWay;
+    }
+    /** Total bitlines (PEs) available for in-memory execution. */
+    std::uint64_t totalBitlines() const
+    {
+        return totalComputeArrays() * bitlines;
+    }
+};
+
+/** Mesh network-on-chip parameters. */
+struct NocConfig {
+    unsigned meshX = 8;
+    unsigned meshY = 8;
+    Bytes linkBytes = 32;      ///< Bytes per link per cycle.
+    Tick linkLatency = 1;
+    Tick routerStages = 5;     ///< Pipeline stages per router hop.
+    unsigned memCtrls = 16;    ///< Memory controllers on the mesh edge.
+};
+
+/** Main memory parameters. */
+struct DramConfig {
+    double bandwidthGBs = 25.6;   ///< DDR4-3200 per Table 2.
+    Tick latency = 200;           ///< Loaded access latency in core cycles.
+
+    /** Bytes deliverable per core cycle at the given core frequency. */
+    double bytesPerCycle(double ghz = 2.0) const
+    {
+        return bandwidthGBs / ghz; // GB/s over Gcycle/s.
+    }
+};
+
+/** Stream engine parameters (NSC near-memory baseline). */
+struct StreamConfig {
+    unsigned coreStreams = 12;       ///< SEcore FIFO streams.
+    Bytes coreFifoBytes = 2048;
+    unsigned l3Streams = 768;        ///< SEL3 stream contexts.
+    Bytes l3BufferBytes = 64 * 1024;
+    Tick computeInitLatency = 4;     ///< SEL3 compute initiation.
+    unsigned flowControlLines = 8;   ///< Sync every N cache lines.
+    /** fp32 lanes per bank for near-stream computation (NSC executes
+     * SIMD ops on a spare hardware context, §2.1). */
+    unsigned sel3LanesFp32 = 16;
+};
+
+/** Tensor controller / JIT runtime parameters. */
+struct TensorConfig {
+    unsigned lotEntries = 16;          ///< Layout override table regions.
+    Bytes commandCacheBytes = 2048;    ///< TCcore command cache.
+    std::uint64_t releaseRequestThreshold = 100000;
+    Tick releaseTimerTicks = 100000;
+    double l3MissRateReleaseThreshold = 0.5;
+    /** JIT cost per lowered tDFG node in core cycles (calibrated so the
+     * Table 3 regions land near the paper's 220 us mean with gauss_elim
+     * as the 1616 us outlier, §8). */
+    Tick jitPerNodeCycles = 100;
+    /** JIT cost per generated command in core cycles. */
+    Tick jitPerCommandCycles = 12;
+    /** Fixed JIT invocation overhead in cycles. */
+    Tick jitFixedCycles = 400;
+};
+
+/** Full system configuration (Table 2 defaults). */
+struct SystemConfig {
+    CoreConfig core;
+    CacheConfig cache;
+    L3Config l3;
+    NocConfig noc;
+    DramConfig dram;
+    StreamConfig stream;
+    TensorConfig tensor;
+
+    unsigned numCores() const { return noc.meshX * noc.meshY; }
+
+    /** Peak fp32 multicore throughput in ops/cycle (Eq. 1 baseline). */
+    double basePeakOpsPerCycle() const
+    {
+        return double(numCores()) * core.simdLanesFp32;
+    }
+
+    /** Human-readable one-line summary for bench headers. */
+    std::string summary() const;
+};
+
+/** The default Table 2 configuration. */
+SystemConfig defaultSystemConfig();
+
+/** A scaled-down configuration for fast unit tests (same shape). */
+SystemConfig testSystemConfig();
+
+} // namespace infs
+
+#endif // INFS_SIM_CONFIG_HH

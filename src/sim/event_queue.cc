@@ -1,0 +1,65 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    infs_assert(when >= curTick_,
+                "scheduling into the past: when=%llu now=%llu",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(curTick_));
+    std::uint64_t seq = nextSeq_++;
+    heap_.push(Entry{when, static_cast<int>(prio), seq});
+    callbacks_.emplace(seq, std::move(cb));
+    return seq;
+}
+
+bool
+EventQueue::deschedule(std::uint64_t id)
+{
+    return callbacks_.erase(id) > 0;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = callbacks_.find(e.seq);
+        if (it == callbacks_.end())
+            continue; // Cancelled; keep draining.
+        curTick_ = e.when;
+        Callback run = std::move(it->second);
+        callbacks_.erase(it);
+        ++numDispatched_;
+        run();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        if (!step())
+            break;
+    }
+    return curTick_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = decltype(heap_)();
+    callbacks_.clear();
+    curTick_ = 0;
+    nextSeq_ = 0;
+    numDispatched_ = 0;
+}
+
+} // namespace infs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. The event queue orders callbacks by
+ * (tick, priority, sequence). Components schedule events against the queue;
+ * run() drains events until the queue is empty or a tick limit is hit.
+ */
+
+#ifndef INFS_SIM_EVENT_QUEUE_HH
+#define INFS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Relative ordering of events scheduled at the same tick. */
+enum class EventPriority : int {
+    Control = 0,  ///< Barriers, configuration — run first.
+    Default = 1,
+    Stats = 2,    ///< Sampling events — run after all work at a tick.
+};
+
+/**
+ * Orders and dispatches simulation events. Deterministic: ties at a tick
+ * break by priority then FIFO insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Number of events dispatched so far. */
+    std::uint64_t dispatched() const { return numDispatched_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to run.
+     * @param prio Same-tick ordering class.
+     * @return Event id usable with deschedule().
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(curTick_ + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a pending event by id.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(std::uint64_t id);
+
+    /**
+     * Dispatch events in order until the queue drains or @p limit is
+     * reached.
+     * @return Final simulated tick.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Dispatch a single event. @return false when the queue is empty. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        bool operator>(const Entry &o) const
+        {
+            if (when != o.when) return when > o.when;
+            if (prio != o.prio) return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numDispatched_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+    // seq -> callback; erased entries mark cancelled events.
+    std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+} // namespace infs
+
+#endif // INFS_SIM_EVENT_QUEUE_HH

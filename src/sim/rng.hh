@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 + xoshiro256**)
+ * so simulations and tests are reproducible across platforms.
+ */
+
+#ifndef INFS_SIM_RNG_HH
+#define INFS_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace infs {
+
+/** Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x1234abcdULL) { reseed(seed); }
+
+    /** Reset the generator state from a single seed word. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_) {
+            // splitmix64 expansion.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit word. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + static_cast<float>(nextDouble()) * (hi - lo);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t s_[4] = {};
+};
+
+} // namespace infs
+
+#endif // INFS_SIM_RNG_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, distributions, and
+ * a registry for dumping. Modeled loosely on gem5's Stats but minimal.
+ */
+
+#ifndef INFS_SIM_STATS_HH
+#define INFS_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+/** A named monotonically accumulating scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    double value() const { return value_; }
+
+    Counter &operator+=(double v) { value_ += v; return *this; }
+    Counter &operator++() { value_ += 1.0; return *this; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    double value_ = 0.0;
+};
+
+/** Running distribution: count/sum/min/max/mean/variance (Welford). */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::string name) : name_(std::move(name)) {}
+
+    void sample(double v);
+
+    const std::string &name() const { return name_; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Population standard deviation. */
+    double stddev() const;
+    void reset();
+
+  private:
+    std::string name_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * A flat registry of statistics keyed by dotted path
+ * (e.g. "noc.hops.data"). Owners register references; the registry does
+ * not own the stats.
+ */
+class StatRegistry
+{
+  public:
+    void add(Counter &c);
+    void add(Distribution &d);
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    double sumByPrefix(const std::string &prefix) const;
+
+    /** Look up a counter by exact name; panics when missing. */
+    const Counter &counter(const std::string &name) const;
+
+    /** True when a counter with this exact name is registered. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** Print "name value" lines sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Counter *> counters_;
+    std::map<std::string, Distribution *> dists_;
+};
+
+} // namespace infs
+
+#endif // INFS_SIM_STATS_HH

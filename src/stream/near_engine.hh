@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Near-stream computing model (the NSC baseline, §2.1/§5.1): streams and
+ * their computations execute at the L3 stream engines (SEL3), reading and
+ * writing banks directly and forwarding operands to consumer streams over
+ * the NoC, with coarse-grained flow control back to the core.
+ */
+
+#ifndef INFS_STREAM_NEAR_ENGINE_HH
+#define INFS_STREAM_NEAR_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "energy/energy.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/l3_model.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "stream/pattern.hh"
+
+namespace infs {
+
+/** One stream offloaded near memory. */
+struct NearStream {
+    AccessPattern pattern;
+    bool isStore = false;       ///< Writes results to L3.
+    bool isReduce = false;      ///< Produces a scalar for the core.
+    unsigned flopsPerElem = 0;  ///< Near-stream computation per element.
+    /**
+     * Index of the consumer stream this stream forwards its data to
+     * (§2.1: "Stream A[i] and B[i] directly forward their data to stream
+     * C[i]"), or -1 when consumed locally.
+     */
+    int forwardTo = -1;
+    /** Fraction of elements resident in L3 (rest fetched from DRAM). */
+    double l3Residency = 1.0;
+};
+
+/** Aggregate result of executing a group of streams near memory. */
+struct NearExecResult {
+    Tick cycles = 0;
+    Bytes l3Bytes = 0;
+    Bytes dramBytes = 0;
+    double nocHopBytes = 0.0;   ///< For reporting convenience.
+    std::uint64_t elements = 0;
+    std::uint64_t flops = 0;
+};
+
+/**
+ * Analytic near-memory execution: accounts bank bandwidth, SEL3 compute
+ * throughput, stream migration and forwarding traffic, flow control, and
+ * energy. Streams in one group execute concurrently (one kernel phase).
+ */
+class NearStreamEngine
+{
+  public:
+    NearStreamEngine(const SystemConfig &cfg, MeshNoc &noc, L3Model &l3,
+                     DramModel &dram, const AddressMap &map,
+                     EnergyAccount &energy)
+        : cfg_(cfg), noc_(noc), l3_(l3), dram_(dram), map_(map),
+          energy_(energy)
+    {
+    }
+
+    /**
+     * Execute a group of concurrent streams near L3.
+     * @param streams The offloaded streams.
+     * @param core The core tile that configured the offload (for control
+     * traffic).
+     * @param elem_bytes Element size (fp32 = 4).
+     */
+    NearExecResult run(const std::vector<NearStream> &streams, BankId core,
+                       unsigned elem_bytes = 4);
+
+  private:
+    SystemConfig cfg_;
+    MeshNoc &noc_;
+    L3Model &l3_;
+    DramModel &dram_;
+    const AddressMap &map_;
+    EnergyAccount &energy_;
+};
+
+} // namespace infs
+
+#endif // INFS_STREAM_NEAR_ENGINE_HH

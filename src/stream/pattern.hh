@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Stream access patterns (§3.1, Fig 5): up to three affine dimensions plus
+ * an optional dependent one-level indirect access. Patterns address
+ * elements of a named array; linearization places dimension 0 innermost.
+ */
+
+#ifndef INFS_STREAM_PATTERN_HH
+#define INFS_STREAM_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace infs {
+
+/** Identifier for an array declared via inf_array. */
+using ArrayId = std::int32_t;
+inline constexpr ArrayId invalidArray = -1;
+
+/**
+ * Affine access pattern: start + sum_k (i_k * stride_k) for
+ * i_k in [0, count_k). Up to three dimensions (Fig 5). An optional
+ * indirect source turns it into A[B[i]]: the affine part generates
+ * indices into @p indirectArray whose values index @p array.
+ */
+struct AccessPattern {
+    ArrayId array = invalidArray;     ///< Target array.
+    std::int64_t start = 0;           ///< Start element offset.
+    std::vector<std::int64_t> strides; ///< Per-level stride in elements.
+    std::vector<std::int64_t> counts;  ///< Per-level trip count.
+    ArrayId indirectArray = invalidArray; ///< Index array for A[B[i]].
+
+    bool indirect() const { return indirectArray != invalidArray; }
+
+    /** Total elements accessed. */
+    std::int64_t
+    numElements() const
+    {
+        std::int64_t n = 1;
+        for (auto c : counts)
+            n *= c;
+        return counts.empty() ? 0 : n;
+    }
+
+    /** Validate: matching ranks, <=3 affine dims, positive counts. */
+    bool
+    valid() const
+    {
+        if (array == invalidArray)
+            return false;
+        if (strides.size() != counts.size())
+            return false;
+        if (counts.empty() || counts.size() > 3)
+            return false;
+        for (auto c : counts)
+            if (c <= 0)
+                return false;
+        return true;
+    }
+
+    /** Linear 1-D pattern over [start, start+n). */
+    static AccessPattern
+    linear(ArrayId array, std::int64_t start, std::int64_t n)
+    {
+        AccessPattern p;
+        p.array = array;
+        p.start = start;
+        p.strides = {1};
+        p.counts = {n};
+        return p;
+    }
+
+    /** Strided 2-D pattern (row-major over a [rows x rowStride] array). */
+    static AccessPattern
+    affine2(ArrayId array, std::int64_t start, std::int64_t inner_count,
+            std::int64_t outer_stride, std::int64_t outer_count)
+    {
+        AccessPattern p;
+        p.array = array;
+        p.start = start;
+        p.strides = {1, outer_stride};
+        p.counts = {inner_count, outer_count};
+        return p;
+    }
+
+    /** Indirect gather A[B[i]] driven by a linear index stream. */
+    static AccessPattern
+    gather(ArrayId array, ArrayId index_array, std::int64_t n)
+    {
+        AccessPattern p = linear(array, 0, n);
+        p.indirectArray = index_array;
+        return p;
+    }
+};
+
+} // namespace infs
+
+#endif // INFS_STREAM_PATTERN_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional backing store for declared arrays (the inf_array API's data).
+ * Arrays are dense fp32 with dimension 0 innermost in memory, matching the
+ * lattice convention. Lattice coordinates equal array indices (arrays are
+ * anchored at the origin, §3.2).
+ */
+
+#ifndef INFS_TDFG_ARRAY_STORE_HH
+#define INFS_TDFG_ARRAY_STORE_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/pattern.hh"
+#include "tdfg/hyperrect.hh"
+
+namespace infs {
+
+/** A named dense fp32 array registered with the runtime. */
+struct StoredArray {
+    std::string name;
+    std::vector<Coord> sizes;  ///< Per-dimension size, dim 0 innermost.
+    std::vector<float> data;
+
+    std::int64_t
+    numElements() const
+    {
+        std::int64_t n = 1;
+        for (Coord s : sizes)
+            n *= s;
+        return n;
+    }
+
+    /** Linear index of a multi-dim coordinate (dim 0 innermost). */
+    std::int64_t
+    linearIndex(const std::vector<Coord> &idx) const
+    {
+        infs_assert(idx.size() == sizes.size(), "index rank mismatch");
+        std::int64_t lin = 0;
+        std::int64_t mult = 1;
+        for (std::size_t d = 0; d < sizes.size(); ++d) {
+            infs_assert(idx[d] >= 0 && idx[d] < sizes[d],
+                        "index %lld out of [0,%lld) in dim %zu of %s",
+                        static_cast<long long>(idx[d]),
+                        static_cast<long long>(sizes[d]), d, name.c_str());
+            lin += idx[d] * mult;
+            mult *= sizes[d];
+        }
+        return lin;
+    }
+
+    float &at(const std::vector<Coord> &idx) { return data[linearIndex(idx)]; }
+    float at(const std::vector<Coord> &idx) const
+    {
+        return data[linearIndex(idx)];
+    }
+
+    /** Whole-array rect anchored at the origin. */
+    HyperRect rect() const { return HyperRect::array(sizes); }
+};
+
+/** Registry of arrays; ids are dense and stable. */
+class ArrayStore
+{
+  public:
+    /** Declare a zero-initialized array. */
+    ArrayId
+    declare(std::string name, std::vector<Coord> sizes)
+    {
+        StoredArray a;
+        a.name = std::move(name);
+        a.sizes = std::move(sizes);
+        a.data.assign(static_cast<std::size_t>(a.numElements()), 0.0f);
+        arrays_.push_back(std::move(a));
+        return static_cast<ArrayId>(arrays_.size() - 1);
+    }
+
+    StoredArray &
+    array(ArrayId id)
+    {
+        infs_assert(id >= 0 && static_cast<std::size_t>(id) < arrays_.size(),
+                    "unknown array %d", id);
+        return arrays_[static_cast<std::size_t>(id)];
+    }
+
+    const StoredArray &
+    array(ArrayId id) const
+    {
+        infs_assert(id >= 0 && static_cast<std::size_t>(id) < arrays_.size(),
+                    "unknown array %d", id);
+        return arrays_[static_cast<std::size_t>(id)];
+    }
+
+    std::span<float> data(ArrayId id) { return array(id).data; }
+    std::span<const float> data(ArrayId id) const { return array(id).data; }
+
+    std::size_t size() const { return arrays_.size(); }
+
+  private:
+    std::vector<StoredArray> arrays_;
+};
+
+} // namespace infs
+
+#endif // INFS_TDFG_ARRAY_STORE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference (functional) interpreter for the tDFG. Defines the semantics
+ * every backend must match: executors and the bit-serial engine are
+ * validated against this interpreter in tests.
+ */
+
+#ifndef INFS_TDFG_INTERP_HH
+#define INFS_TDFG_INTERP_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "tdfg/array_store.hh"
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/** A materialized tensor: dense values over its lattice domain. */
+struct TensorValue {
+    HyperRect domain;
+    std::vector<float> data;  ///< dim 0 innermost, relative to domain lo.
+    bool isConst = false;
+    float constVal = 0.0f;
+
+    /** Value at an absolute lattice coordinate (must be inside domain). */
+    float at(const std::vector<Coord> &pt) const;
+    float &at(const std::vector<Coord> &pt);
+
+    /** Allocate zeroed data over @p d. */
+    static TensorValue dense(const HyperRect &d);
+};
+
+/** Iterates every lattice cell of a hyperrectangle (dim 0 fastest). */
+class RectIter
+{
+  public:
+    explicit RectIter(const HyperRect &r);
+
+    bool done() const { return done_; }
+    const std::vector<Coord> &operator*() const { return pt_; }
+    void next();
+
+  private:
+    const HyperRect &rect_;
+    std::vector<Coord> pt_;
+    bool done_;
+};
+
+/**
+ * Evaluates a tDFG against an ArrayStore. Outputs and store streams write
+ * back into the store; reduce streams produce scalar results retrievable
+ * afterwards.
+ */
+class TdfgInterpreter
+{
+  public:
+    explicit TdfgInterpreter(ArrayStore &store) : store_(store) {}
+
+    /** Evaluate the whole graph in node order. */
+    void run(const TdfgGraph &g);
+
+    /** Value produced by a node during the last run. */
+    const TensorValue &value(NodeId id) const;
+
+    /** Scalar result of a reduce stream from the last run. */
+    float streamReduceResult(NodeId id) const;
+
+    /** Total scalar fp operations performed (for cross-checking costs). */
+    std::uint64_t flopCount() const { return flops_; }
+
+  private:
+    TensorValue evalNode(const TdfgGraph &g, const TdfgNode &n);
+    TensorValue evalCompute(const TdfgGraph &g, const TdfgNode &n);
+    TensorValue evalReduce(const TdfgNode &n);
+    TensorValue evalStream(const TdfgGraph &g, const TdfgNode &n, NodeId id);
+    void writeOutput(const TdfgGraph &g, const TdfgGraph::Output &o);
+
+    static float applyOp(BitOp fn, float a, float b);
+
+    ArrayStore &store_;
+    std::vector<TensorValue> values_;
+    std::unordered_map<NodeId, float> reduceResults_;
+    std::uint64_t flops_ = 0;
+};
+
+} // namespace infs
+
+#endif // INFS_TDFG_INTERP_HH

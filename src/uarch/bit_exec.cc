@@ -1,0 +1,237 @@
+#include "uarch/bit_exec.hh"
+
+#include <bit>
+
+#include "tdfg/interp.hh"
+
+namespace infs {
+
+BitAccurateFabric::BitAccurateFabric(TiledLayout layout, unsigned wordlines,
+                                     unsigned bitlines)
+    : layout_(std::move(layout)), wordlines_(wordlines), bitlines_(bitlines)
+{
+    infs_assert(layout_.tileVolume() <= static_cast<std::int64_t>(bitlines),
+                "tile volume %lld exceeds %u bitlines",
+                static_cast<long long>(layout_.tileVolume()), bitlines);
+    tiles_.resize(static_cast<std::size_t>(layout_.numTiles()));
+}
+
+ComputeSram &
+BitAccurateFabric::tile(std::int64_t t)
+{
+    infs_assert(t >= 0 && t < layout_.numTiles(), "tile %lld out of range",
+                static_cast<long long>(t));
+    auto &p = tiles_[static_cast<std::size_t>(t)];
+    if (!p)
+        p = std::make_unique<ComputeSram>(wordlines_, bitlines_);
+    return *p;
+}
+
+std::int64_t
+BitAccurateFabric::strideInTile(unsigned dim) const
+{
+    std::int64_t s = 1;
+    for (unsigned d = 0; d < dim; ++d)
+        s *= layout_.tile()[d];
+    return s;
+}
+
+void
+BitAccurateFabric::loadArray(std::span<const float> data, unsigned wl)
+{
+    HyperRect rect = HyperRect::array(layout_.shape());
+    std::size_t i = 0;
+    for (RectIter it(rect); !it.done(); it.next(), ++i) {
+        ComputeSram &s = tile(layout_.tileOf(*it));
+        s.writeFloat(
+            static_cast<unsigned>(layout_.positionInTile(*it)), wl,
+            data[i]);
+    }
+    infs_assert(i == data.size(), "array size mismatch");
+}
+
+void
+BitAccurateFabric::storeArray(std::span<float> data, unsigned wl) const
+{
+    HyperRect rect = HyperRect::array(layout_.shape());
+    std::size_t i = 0;
+    auto *self = const_cast<BitAccurateFabric *>(this);
+    for (RectIter it(rect); !it.done(); it.next(), ++i) {
+        ComputeSram &s = self->tile(layout_.tileOf(*it));
+        data[i] = s.readFloat(
+            static_cast<unsigned>(layout_.positionInTile(*it)), wl);
+    }
+}
+
+float
+BitAccurateFabric::element(const std::vector<Coord> &pt, unsigned wl) const
+{
+    auto *self = const_cast<BitAccurateFabric *>(this);
+    ComputeSram &s = self->tile(layout_.tileOf(pt));
+    return s.readFloat(static_cast<unsigned>(layout_.positionInTile(pt)),
+                       wl);
+}
+
+BitRow
+BitAccurateFabric::tileMask(const InMemCommand &cmd, std::int64_t t,
+                            bool apply_shift_mask) const
+{
+    BitRow mask(bitlines_);
+    HyperRect clipped =
+        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
+    for (RectIter it(clipped); !it.done(); it.next()) {
+        if (layout_.tileOf(*it) != t)
+            continue;
+        if (apply_shift_mask) {
+            Coord tile_k = layout_.tile()[cmd.dim];
+            Coord pos = (((*it)[cmd.dim] % tile_k) + tile_k) % tile_k;
+            if (pos < cmd.maskLo || pos >= cmd.maskHi)
+                continue;
+        }
+        mask.set(static_cast<unsigned>(layout_.positionInTile(*it)), true);
+    }
+    return mask;
+}
+
+void
+BitAccurateFabric::execCompute(const InMemCommand &cmd)
+{
+    const bool positional = cmd.maskHi > cmd.maskLo;
+    for (std::int64_t t : layout_.tilesIntersecting(cmd.tensor)) {
+        BitRow mask = tileMask(cmd, t, positional);
+        if (!mask.any())
+            continue;
+        ComputeSram &s = tile(t);
+        if (cmd.useImm) {
+            s.execBinaryImm(cmd.op, cmd.dtype, cmd.wlA,
+                            std::bit_cast<std::uint32_t>(
+                                static_cast<float>(cmd.imm)),
+                            cmd.wlDst, mask);
+        } else if (cmd.wlA == cmd.wlB) {
+            // Unary encoding (e.g. relu, copy) or self-binary (x*x).
+            if (cmd.op == BitOp::Relu || cmd.op == BitOp::Copy)
+                s.execUnary(cmd.op, cmd.dtype, cmd.wlA, cmd.wlDst, mask);
+            else
+                s.execBinary(cmd.op, cmd.dtype, cmd.wlA, cmd.wlB,
+                             cmd.wlDst, mask);
+        } else {
+            s.execBinary(cmd.op, cmd.dtype, cmd.wlA, cmd.wlB, cmd.wlDst,
+                         mask);
+        }
+    }
+}
+
+void
+BitAccurateFabric::execIntraShift(const InMemCommand &cmd)
+{
+    const std::int64_t stride = strideInTile(cmd.dim);
+    const int delta =
+        static_cast<int>(cmd.intraTileDist * stride);
+    for (std::int64_t t : layout_.tilesIntersecting(cmd.tensor)) {
+        BitRow mask = tileMask(cmd, t, true);
+        if (!mask.any())
+            continue;
+        tile(t).shift(cmd.dtype, cmd.wlA, cmd.wlDst, delta, mask);
+    }
+}
+
+void
+BitAccurateFabric::execInterShift(const InMemCommand &cmd)
+{
+    // Elements cross tiles: per covered cell, compute the destination
+    // lattice coordinate and copy the element bits (the packed H-tree /
+    // NoC transfer, functionally).
+    const Coord tile_k = layout_.tile()[cmd.dim];
+    const Coord dist = cmd.interTileDist * tile_k + cmd.intraTileDist;
+    HyperRect clipped =
+        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
+    // Gather then scatter so overlapping source/dest slots are safe.
+    std::vector<std::pair<std::vector<Coord>, std::uint64_t>> moves;
+    for (RectIter it(clipped); !it.done(); it.next()) {
+        Coord pos = ((((*it)[cmd.dim]) % tile_k) + tile_k) % tile_k;
+        if (pos < cmd.maskLo || pos >= cmd.maskHi)
+            continue;
+        std::vector<Coord> dst = *it;
+        dst[cmd.dim] += dist;
+        if (dst[cmd.dim] < 0 ||
+            dst[cmd.dim] >= layout_.shape()[cmd.dim])
+            continue; // Discarded outside the bounding rect (§3.2).
+        ComputeSram &s = tile(layout_.tileOf(*it));
+        std::uint64_t bits = s.readElement(
+            static_cast<unsigned>(layout_.positionInTile(*it)), cmd.wlA,
+            cmd.dtype);
+        moves.emplace_back(std::move(dst), bits);
+    }
+    for (auto &[dst, bits] : moves) {
+        ComputeSram &s = tile(layout_.tileOf(dst));
+        s.writeElement(static_cast<unsigned>(layout_.positionInTile(dst)),
+                       cmd.wlDst, cmd.dtype, bits);
+    }
+}
+
+void
+BitAccurateFabric::execBroadcast(const InMemCommand &cmd)
+{
+    // Replicate the source subtensor bcCount times along dim with offset
+    // bcDist (Fig 5 semantics), across tiles.
+    HyperRect src =
+        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
+    const Coord span = cmd.tensor.size(cmd.dim);
+    for (RectIter it(src); !it.done(); it.next()) {
+        ComputeSram &s = tile(layout_.tileOf(*it));
+        std::uint64_t bits = s.readElement(
+            static_cast<unsigned>(layout_.positionInTile(*it)), cmd.wlA,
+            cmd.dtype);
+        for (Coord j = 0; j < cmd.bcCount; ++j) {
+            std::vector<Coord> dst = *it;
+            dst[cmd.dim] += cmd.bcDist + j * span;
+            if (dst[cmd.dim] < 0 ||
+                dst[cmd.dim] >= layout_.shape()[cmd.dim])
+                continue;
+            ComputeSram &d = tile(layout_.tileOf(dst));
+            d.writeElement(
+                static_cast<unsigned>(layout_.positionInTile(dst)),
+                cmd.wlDst, cmd.dtype, bits);
+        }
+    }
+}
+
+void
+BitAccurateFabric::executeCommand(const InMemCommand &cmd)
+{
+    switch (cmd.kind) {
+      case CmdKind::Compute:
+        execCompute(cmd);
+        break;
+      case CmdKind::IntraShift:
+        execIntraShift(cmd);
+        break;
+      case CmdKind::InterShift:
+        execInterShift(cmd);
+        break;
+      case CmdKind::BroadcastBl:
+        execBroadcast(cmd);
+        break;
+      case CmdKind::BroadcastVal: {
+        for (std::int64_t t = 0; t < layout_.numTiles(); ++t) {
+            ComputeSram &s = tile(t);
+            s.writeImmediate(cmd.dtype,
+                             std::bit_cast<std::uint32_t>(
+                                 static_cast<float>(cmd.imm)),
+                             cmd.wlDst, s.fullMask());
+        }
+        break;
+      }
+      case CmdKind::Sync:
+        break; // Ordering only; execution here is already sequential.
+    }
+}
+
+void
+BitAccurateFabric::execute(const InMemProgram &prog)
+{
+    for (const InMemCommand &cmd : prog.commands)
+        executeCommand(cmd);
+}
+
+} // namespace infs

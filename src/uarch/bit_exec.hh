@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-accurate fabric: executes JIT-lowered in-memory programs on real
+ * ComputeSram arrays (one per tile), performing the genuine bit-serial
+ * arithmetic and H-tree data movement. This is the end-to-end functional
+ * validation path for Alg. 1 + Alg. 2 — results are cross-checked against
+ * the tDFG interpreter in tests. It models function, not time (the
+ * TensorController owns timing).
+ */
+
+#ifndef INFS_UARCH_BIT_EXEC_HH
+#define INFS_UARCH_BIT_EXEC_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitserial/compute_sram.hh"
+#include "jit/commands.hh"
+#include "jit/tiling.hh"
+
+namespace infs {
+
+/** One compute SRAM per tile of a tiled layout, plus command execution. */
+class BitAccurateFabric
+{
+  public:
+    /**
+     * @param layout The tiled transposed layout (tile volume must not
+     * exceed @p bitlines).
+     */
+    BitAccurateFabric(TiledLayout layout, unsigned wordlines = 256,
+                      unsigned bitlines = 256);
+
+    const TiledLayout &layout() const { return layout_; }
+
+    /**
+     * Transpose a dense array (lattice-anchored, dim 0 innermost) into
+     * the fabric at wordline slot @p wl.
+     */
+    void loadArray(std::span<const float> data, unsigned wl);
+
+    /** Inverse of loadArray: read the fabric back to a dense array. */
+    void storeArray(std::span<float> data, unsigned wl) const;
+
+    /** Read a single lattice element from slot @p wl. */
+    float element(const std::vector<Coord> &pt, unsigned wl) const;
+
+    /** Execute every command of @p prog in order (functionally). */
+    void execute(const InMemProgram &prog);
+
+    /** Execute one command. */
+    void executeCommand(const InMemCommand &cmd);
+
+    /** Direct access for tests. */
+    ComputeSram &tile(std::int64_t t);
+
+  private:
+    /** Bitline index delta for a unit step along @p dim inside a tile. */
+    std::int64_t strideInTile(unsigned dim) const;
+
+    /** Per-tile bitline mask of cmd.tensor cells (shift-mask aware). */
+    BitRow tileMask(const InMemCommand &cmd, std::int64_t t,
+                    bool apply_shift_mask) const;
+
+    void execCompute(const InMemCommand &cmd);
+    void execIntraShift(const InMemCommand &cmd);
+    void execInterShift(const InMemCommand &cmd);
+    void execBroadcast(const InMemCommand &cmd);
+
+    TiledLayout layout_;
+    unsigned wordlines_;
+    unsigned bitlines_;
+    // Lazily allocated tiles (large layouts touch few in tests).
+    mutable std::vector<std::unique_ptr<ComputeSram>> tiles_;
+};
+
+} // namespace infs
+
+#endif // INFS_UARCH_BIT_EXEC_HH

@@ -1,0 +1,233 @@
+#include "uarch/tensor_controller.hh"
+
+#include <algorithm>
+
+namespace infs {
+
+std::uint64_t
+TensorController::maskedElements(const InMemCommand &cmd,
+                                 const TiledLayout &layout) const
+{
+    const HyperRect &t = cmd.tensor;
+    if (t.empty())
+        return 0;
+    // Compute commands carry a positional mask only when the JIT set one
+    // (reduction rounds); an unset mask (maskHi == 0) means all cells.
+    if ((cmd.kind == CmdKind::Compute && cmd.maskHi <= cmd.maskLo) ||
+        cmd.kind == CmdKind::BroadcastBl || cmd.kind == CmdKind::BroadcastVal)
+        return static_cast<std::uint64_t>(t.volume());
+    // Shift commands: count dim-k coordinates whose in-tile position lies
+    // inside the mask.
+    const Coord tile_k = layout.tileSize(cmd.dim);
+    std::uint64_t covered = 0;
+    for (Coord x = t.lo(cmd.dim); x < t.hi(cmd.dim); ++x) {
+        Coord pos = ((x % tile_k) + tile_k) % tile_k;
+        if (pos >= cmd.maskLo && pos < cmd.maskHi)
+            ++covered;
+    }
+    std::uint64_t per_coord = static_cast<std::uint64_t>(
+        t.volume() / t.size(cmd.dim));
+    return covered * per_coord;
+}
+
+InMemExecResult
+TensorController::execute(const InMemProgram &prog,
+                          const TiledLayout &layout, BankId core,
+                          std::uint64_t repeat)
+{
+    InMemExecResult res;
+    if (repeat == 0)
+        return res;
+    const double rep = static_cast<double>(repeat);
+    const unsigned bits = 32; // fp32 (Table 3 workloads).
+    const unsigned elem_bytes = bits / 8;
+    const unsigned banks = cfg_.l3.numBanks;
+    // Per-bank issue model: commands of the same group (one node's tile
+    // decomposition) touch disjoint arrays and overlap; groups serialize
+    // (per-bank synchronous issue, §4.2).
+    std::vector<Tick> busy(banks, 0);       // End of the current group.
+    std::vector<Tick> group_base(banks, 0); // Start of the current group.
+    std::vector<unsigned> cur_group(banks, ~0u);
+    const double per_hop = cfg_.noc.routerStages + cfg_.noc.linkLatency;
+
+    // Command dispatch from TCcore's command cache to the banks.
+    noc_.accountBulk(static_cast<double>(prog.commands.size()) * 16.0 * rep,
+                     noc_.avgHops(), TrafficClass::Offload);
+
+    auto bumpBanks = [&](const std::vector<BankId> &bs, Tick lat,
+                         unsigned group) {
+        for (BankId b : bs) {
+            if (cur_group[b] != group) {
+                group_base[b] = busy[b];
+                cur_group[b] = group;
+            }
+            busy[b] = std::max(busy[b], group_base[b] + lat);
+        }
+    };
+    auto maxBusy = [&]() {
+        Tick m = 0;
+        for (Tick t : busy)
+            m = std::max(m, t);
+        return m;
+    };
+
+    for (const InMemCommand &cmd : prog.commands) {
+        switch (cmd.kind) {
+          case CmdKind::Compute: {
+            Tick cyc = lat_.opCycles(cmd.op, cmd.dtype);
+            if (cmd.useImm)
+                cyc += bits; // Broadcast the constant first (§5.2).
+            bumpBanks(cmd.banks, cyc, cmd.group);
+            res.computeCycles += cyc;
+            std::uint64_t elems = maskedElements(cmd, layout);
+            res.inMemOps += elems;
+            // Energy: ~3 row activations per bit step in each involved
+            // SRAM array (2 senses + 1 write).
+            double tiles = static_cast<double>(
+                layout.countTilesIntersecting(cmd.tensor));
+            energy_.charge(EnergyEvent::SramRowActivate,
+                           3.0 * bits * tiles * rep);
+            break;
+          }
+          case CmdKind::BroadcastVal: {
+            Tick cyc = bits;
+            bumpBanks(cmd.banks, cyc, cmd.group);
+            res.moveCycles += cyc;
+            break;
+          }
+          case CmdKind::IntraShift: {
+            Tick cyc = lat_.intraShiftCycles(cmd.dtype);
+            bumpBanks(cmd.banks, cyc, cmd.group);
+            res.moveCycles += cyc;
+            std::uint64_t elems = maskedElements(cmd, layout);
+            res.intraTileBytes +=
+                static_cast<double>(elems) * elem_bytes * rep;
+            double tiles = static_cast<double>(
+                layout.countTilesIntersecting(cmd.tensor));
+            energy_.charge(EnergyEvent::HtreeRowMove, bits * tiles * rep);
+            break;
+          }
+          case CmdKind::InterShift: {
+            // Pack bits, traverse the H tree, and cross to the target
+            // tile. Unlike intra-array shifts (bitline-parallel), the
+            // crossing data serializes through each bank's H-tree port —
+            // this is what makes poorly tiled layouts slow (Fig 16/17).
+            std::uint64_t elems = maskedElements(cmd, layout);
+            double bytes_once = static_cast<double>(elems) * elem_bytes;
+            double bytes = bytes_once * rep;
+            double banks_involved =
+                static_cast<double>(std::max<std::size_t>(
+                    cmd.banks.size(), 1));
+            Tick ser = static_cast<Tick>(
+                bytes_once / banks_involved /
+                static_cast<double>(cfg_.l3.htreeBandwidth));
+            Tick cyc = lat_.intraShiftCycles(cmd.dtype) + 8 + ser;
+            bumpBanks(cmd.banks, cyc, cmd.group);
+            res.moveCycles += cyc;
+            res.interTileBytes += bytes;
+            // Linear tile-index delta of the shift along this dimension.
+            // With the contiguous tile->array mapping, only tiles whose
+            // destination crosses a bank boundary inject NoC packets; the
+            // rest travel the bank's H tree (§5.2).
+            std::int64_t stride = 1;
+            for (unsigned d = 0; d < cmd.dim; ++d)
+                stride *= layout.grid()[d];
+            std::int64_t tile_delta = cmd.interTileDist * stride;
+            std::int64_t abs_delta =
+                tile_delta < 0 ? -tile_delta : tile_delta;
+            const double apb = static_cast<double>(map_.arraysPerBank());
+            double crossing =
+                std::min(1.0, static_cast<double>(abs_delta) / apb);
+            if (crossing > 0.0 && abs_delta > 0) {
+                std::int64_t bank_delta =
+                    std::max<std::int64_t>(abs_delta / map_.arraysPerBank(),
+                                           1) %
+                    banks;
+                double hops = 0.0;
+                for (BankId b = 0; b < banks; ++b)
+                    hops += noc_.hops(b, static_cast<BankId>(
+                                             (b + bank_delta) % banks));
+                hops /= banks;
+                noc_.accountBulk(bytes * crossing, hops,
+                                 TrafficClass::InterTile);
+                res.interTileNocBytes += bytes * crossing;
+                // NoC injection serialization for the crossing bytes.
+                Tick noc_ser = static_cast<Tick>(
+                    bytes_once * crossing / banks_involved /
+                    static_cast<double>(cfg_.noc.linkBytes));
+                bumpBanks(cmd.banks, lat_.intraShiftCycles(cmd.dtype) + 8 +
+                                         ser + noc_ser,
+                          cmd.group);
+                res.moveCycles += noc_ser;
+            }
+            energy_.charge(EnergyEvent::HtreeRowMove,
+                           2.0 * bits * rep *
+                               static_cast<double>(
+                                   layout.countTilesIntersecting(
+                                       cmd.tensor)));
+            break;
+          }
+          case CmdKind::BroadcastBl: {
+            // One source row replicated across the destination region via
+            // the buffered H tree; remote tiles receive it over the NoC
+            // multicast. The source data serializes out of its banks.
+            std::uint64_t src_elems = maskedElements(cmd, layout);
+            double bytes_once =
+                static_cast<double>(src_elems) * elem_bytes;
+            double bytes = bytes_once * rep;
+            double banks_involved =
+                static_cast<double>(std::max<std::size_t>(
+                    cmd.banks.size(), 1));
+            Tick ser = static_cast<Tick>(
+                bytes_once / banks_involved /
+                static_cast<double>(cfg_.l3.htreeBandwidth));
+            Tick cyc = lat_.intraShiftCycles(cmd.dtype) + 8 + ser;
+            bumpBanks(cmd.banks, cyc, cmd.group);
+            res.moveCycles += cyc;
+            // Multicast: source data travels once along the tree spanning
+            // the destination banks (cheap, §4.1 "broadcast is
+            // inexpensive, as it can reuse the read data").
+            if (cmd.banks.size() > 1)
+                noc_.accountBulk(bytes,
+                                 std::min<double>(noc_.avgHops(),
+                                                  double(cmd.banks.size())),
+                                 TrafficClass::InterTile);
+            res.interTileBytes += bytes;
+            energy_.charge(EnergyEvent::HtreeRowMove,
+                           bits * rep *
+                               static_cast<double>(cmd.banks.size()));
+            break;
+          }
+          case CmdKind::Sync: {
+            // Global barrier: every TCL3 reports sent/received counts to
+            // TCcore, which broadcasts the release (§5.2).
+            Tick wall = maxBusy();
+            Tick sync_lat = static_cast<Tick>(2.0 * noc_.avgHops() *
+                                              per_hop) +
+                            8;
+            for (unsigned b = 0; b < banks; ++b) {
+                busy[b] = wall + sync_lat;
+                group_base[b] = busy[b];
+                cur_group[b] = ~0u;
+            }
+            res.syncCycles += sync_lat;
+            noc_.accountBulk(static_cast<double>(banks) * 2.0 * 16.0 * rep,
+                             noc_.avgHops(), TrafficClass::Offload);
+            // TCcore round trip.
+            noc_.send(core, 0, static_cast<Bytes>(16 * repeat),
+                      TrafficClass::Offload);
+            break;
+          }
+        }
+    }
+
+    // Per-command ops and per-repeat cycle components scale linearly.
+    res.inMemOps *= repeat;
+    res.computeCycles *= repeat;
+    res.moveCycles *= repeat;
+    res.syncCycles *= repeat;
+    res.cycles = maxBusy() * repeat;
+    return res;
+}
+
+} // namespace infs

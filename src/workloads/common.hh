@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for workload factories.
+ */
+
+#ifndef INFS_WORKLOADS_COMMON_HH
+#define INFS_WORKLOADS_COMMON_HH
+
+#include "core/workload.hh"
+#include "sim/rng.hh"
+
+namespace infs {
+namespace wl {
+
+/** Fill an array with deterministic pseudo-random values in [lo, hi). */
+inline void
+randomFill(ArrayStore &store, ArrayId a, float lo, float hi,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (float &v : store.array(a).data)
+        v = rng.nextFloat(lo, hi);
+}
+
+/** Bytes of @p elems fp32 elements. */
+inline Bytes
+fp32Bytes(std::int64_t elems)
+{
+    return static_cast<Bytes>(elems) * 4;
+}
+
+} // namespace wl
+} // namespace infs
+
+#endif // INFS_WORKLOADS_COMMON_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * dwt2d: one level of an undecimated (stationary) 5/3 lifting wavelet,
+ * rows then columns — shift movement with elementwise compute, matching
+ * Table 3's characterization. The paper used a decimated DWT; the
+ * stationary variant exercises the identical shift/compute command
+ * pattern without strided tensors (see DESIGN.md substitutions).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace infs {
+
+Workload
+makeDwt2d(Coord n0, Coord n1)
+{
+    std::int64_t elems = static_cast<std::int64_t>(n0) * n1;
+    Workload w;
+    w.name = "dwt2d";
+    w.primaryShape = {n0, n1};
+    w.footprintBytes = wl::fp32Bytes(3 * elems);
+    w.dirtyBytes = wl::fp32Bytes(2 * elems);
+
+    w.setup = [n0, n1](ArrayStore &s) {
+        ArrayId a = s.declare("A", {n0, n1});
+        s.declare("D", {n0, n1});
+        s.declare("S", {n0, n1});
+        wl::randomFill(s, a, -2, 2, 11);
+    };
+
+    // Predict (detail) then update (smooth) along @p dim reading from
+    // @p src into D (1) and S (2).
+    auto buildPass = [n0, n1](ArrayId src, unsigned dim) {
+        TdfgGraph g(2, dim == 0 ? "dwt_rows" : "dwt_cols");
+        Coord nd = dim == 0 ? n0 : n1;
+        HyperRect inner = HyperRect::box2(
+            dim == 0 ? 1 : 0, dim == 0 ? n0 - 1 : n0,
+            dim == 1 ? 1 : 0, dim == 1 ? n1 - 1 : n1);
+        (void)nd;
+        NodeId c = g.tensor(src, inner);
+        NodeId l = g.move(g.tensor(src, inner.shifted(dim, -1)), dim, 1);
+        NodeId r = g.move(g.tensor(src, inner.shifted(dim, 1)), dim, -1);
+        // Predict: d = a - 0.5 * (left + right).
+        NodeId mean = g.compute(BitOp::Mul,
+                                {g.compute(BitOp::Add, {l, r}),
+                                 g.constant(0.5)});
+        NodeId d = g.compute(BitOp::Sub, {c, mean});
+        g.output(d, 1);
+        // Update: s = a + 0.25 * (d_left + d_right).
+        NodeId dl = g.move(g.shrink(d, dim, inner.lo(dim), inner.hi(dim) - 1),
+                           dim, 1);
+        NodeId dr = g.move(g.shrink(d, dim, inner.lo(dim) + 1,
+                                    inner.hi(dim)),
+                           dim, -1);
+        NodeId upd = g.compute(BitOp::Mul,
+                               {g.compute(BitOp::Add, {dl, dr}),
+                                g.constant(0.25)});
+        NodeId sm = g.compute(BitOp::Add, {c, upd});
+        g.output(sm, 2);
+        return g;
+    };
+
+    for (unsigned dim = 0; dim < 2; ++dim) {
+        Phase p;
+        p.name = dim == 0 ? "rows" : "cols";
+        // Rows read A; columns read the smooth output of the row pass.
+        ArrayId src = dim == 0 ? 0 : 2;
+        p.buildTdfg = [buildPass, src, dim](std::uint64_t) {
+            return buildPass(src, dim);
+        };
+        NearStream ld, st1, st2;
+        ld.pattern = AccessPattern::linear(src, 0, elems);
+        ld.forwardTo = 1;
+        st1.pattern = AccessPattern::linear(1, 0, elems);
+        st1.isStore = true;
+        st1.flopsPerElem = 3;
+        st2.pattern = AccessPattern::linear(2, 0, elems);
+        st2.isStore = true;
+        st2.flopsPerElem = 3;
+        p.streams = {ld, st1, st2};
+        p.coreFlopsPerIter = static_cast<std::uint64_t>(elems) * 6;
+        p.coreBytesPerIter = wl::fp32Bytes(3 * elems);
+        w.phases.push_back(std::move(p));
+    }
+
+    w.reference = [n0, n1](ArrayStore &s) {
+        auto pass = [&](const StoredArray &src, StoredArray &dd,
+                        StoredArray &ss, unsigned dim) {
+            Coord lim0 = dim == 0 ? n0 - 1 : n0;
+            Coord lim1 = dim == 1 ? n1 - 1 : n1;
+            Coord lo0 = dim == 0 ? 1 : 0;
+            Coord lo1 = dim == 1 ? 1 : 0;
+            auto shift = [&](Coord i, Coord j, Coord d) {
+                return dim == 0 ? src.at({i + d, j}) : src.at({i, j + d});
+            };
+            // Predict.
+            for (Coord j = lo1; j < lim1; ++j)
+                for (Coord i = lo0; i < lim0; ++i)
+                    dd.at({i, j}) = src.at({i, j}) -
+                                    0.5f * (shift(i, j, -1) +
+                                            shift(i, j, 1));
+            // Update (uses predicted detail of the two neighbours; the
+            // shrink keeps reads inside the computed interior).
+            for (Coord j = lo1; j < lim1; ++j)
+                for (Coord i = lo0; i < lim0; ++i) {
+                    Coord il = dim == 0 ? i - 1 : i;
+                    Coord jl = dim == 1 ? j - 1 : j;
+                    Coord ir = dim == 0 ? i + 1 : i;
+                    Coord jr = dim == 1 ? j + 1 : j;
+                    bool l_ok = dim == 0 ? il >= lo0 : jl >= lo1;
+                    bool r_ok = dim == 0 ? ir < lim0 : jr < lim1;
+                    float dl = l_ok ? dd.at({il, jl}) : 0.0f;
+                    float dr = r_ok ? dd.at({ir, jr}) : 0.0f;
+                    if (!l_ok || !r_ok) {
+                        // Outside the shrink: the tDFG writes nothing.
+                        continue;
+                    }
+                    ss.at({i, j}) = src.at({i, j}) + 0.25f * (dl + dr);
+                }
+        };
+        pass(s.array(0), s.array(1), s.array(2), 0);
+        pass(s.array(2), s.array(1), s.array(2), 1);
+    };
+    return w;
+}
+
+} // namespace infs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig 2 microbenchmarks: vec_add and array_sum.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace infs {
+
+Workload
+makeVecAdd(Coord n)
+{
+    Workload w;
+    w.name = "vec_add";
+    w.primaryShape = {n};
+    w.footprintBytes = wl::fp32Bytes(3 * n);
+    w.dirtyBytes = wl::fp32Bytes(n);
+
+    w.setup = [n](ArrayStore &s) {
+        ArrayId a = s.declare("A", {n});
+        ArrayId b = s.declare("B", {n});
+        s.declare("C", {n});
+        wl::randomFill(s, a, -10, 10, 1);
+        wl::randomFill(s, b, -10, 10, 2);
+    };
+    w.reference = [n](ArrayStore &s) {
+        for (Coord i = 0; i < n; ++i)
+            s.array(2).data[i] = s.array(0).data[i] + s.array(1).data[i];
+    };
+
+    Phase p;
+    p.name = "add";
+    p.buildTdfg = [n](std::uint64_t) {
+        TdfgGraph g(1, "vec_add");
+        NodeId a = g.tensor(0, HyperRect::interval(0, n), "A");
+        NodeId b = g.tensor(1, HyperRect::interval(0, n), "B");
+        g.output(g.compute(BitOp::Add, {a, b}), 2);
+        return g;
+    };
+    // sDFG (Fig 1b): A and B forward to the storing stream C.
+    NearStream sa, sb, sc;
+    sa.pattern = AccessPattern::linear(0, 0, n);
+    sa.forwardTo = 2;
+    sb.pattern = AccessPattern::linear(1, 0, n);
+    sb.forwardTo = 2;
+    sc.pattern = AccessPattern::linear(2, 0, n);
+    sc.isStore = true;
+    sc.flopsPerElem = 1;
+    p.streams = {sa, sb, sc};
+    p.coreFlopsPerIter = static_cast<std::uint64_t>(n);
+    p.coreBytesPerIter = wl::fp32Bytes(3 * n);
+    w.phases.push_back(std::move(p));
+    return w;
+}
+
+Workload
+makeArraySum(Coord n)
+{
+    Workload w;
+    w.name = "array_sum";
+    w.primaryShape = {n};
+    w.footprintBytes = wl::fp32Bytes(n);
+    w.dirtyBytes = 0;
+
+    w.setup = [n](ArrayStore &s) {
+        ArrayId a = s.declare("A", {n});
+        s.declare("Out", {1});
+        wl::randomFill(s, a, -1, 1, 3);
+    };
+    w.reference = [n](ArrayStore &s) {
+        // Tree-order accumulation to stay fp-comparable with the
+        // in-memory reduction (pairwise); plain serial is close enough
+        // for the tolerances used in tests.
+        double acc = 0.0;
+        for (Coord i = 0; i < n; ++i)
+            acc += s.array(0).data[i];
+        s.array(1).data[0] = static_cast<float>(acc);
+    };
+
+    Phase p;
+    p.name = "sum";
+    p.buildTdfg = [n](std::uint64_t) {
+        TdfgGraph g(1, "array_sum");
+        NodeId a = g.tensor(0, HyperRect::interval(0, n), "A");
+        NodeId part = g.reduce(a, BitOp::Add, 0, "partial");
+        // Near-memory stream collects the per-tile partials (Fig 4b).
+        g.stream(StreamRole::Reduce, AccessPattern::linear(0, 0, n), part,
+                 HyperRect{}, "final");
+        g.output(part, 1);
+        return g;
+    };
+    NearStream sum;
+    sum.pattern = AccessPattern::linear(0, 0, n);
+    sum.isReduce = true;
+    sum.flopsPerElem = 1;
+    p.streams = {sum};
+    // Residual: final reduce of one partial per tile.
+    NearStream fin;
+    Coord tiles = std::max<Coord>(n / 256, 1);
+    fin.pattern = AccessPattern::linear(0, 0, tiles);
+    fin.isReduce = true;
+    fin.flopsPerElem = 1;
+    p.residualStreams = {fin};
+    p.coreFlopsPerIter = static_cast<std::uint64_t>(n);
+    p.coreBytesPerIter = wl::fp32Bytes(n);
+    p.residualFlopsPerIter = static_cast<std::uint64_t>(tiles);
+    p.residualBytesPerIter = wl::fp32Bytes(tiles);
+    w.phases.push_back(std::move(p));
+    return w;
+}
+
+} // namespace infs

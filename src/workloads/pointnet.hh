@@ -1,0 +1,40 @@
+/**
+ * @file
+ * PointNet++ end-to-end case study (§8, Table 4, Fig 19): set abstraction
+ * (SA) stages — furthest sample, ball query, gather, 3-layer MLP,
+ * max-aggregate — composed into the SSG and MSG classifiers.
+ */
+
+#ifndef INFS_WORKLOADS_POINTNET_HH
+#define INFS_WORKLOADS_POINTNET_HH
+
+#include <array>
+
+#include "core/workload.hh"
+
+namespace infs {
+
+/** One set-abstraction layer's parameters (Table 4). */
+struct SaParams {
+    Coord K = 512;                   ///< Centroids sampled.
+    Coord N = 32;                    ///< Neighbors per centroid.
+    float radius = 0.2f;             ///< Ball-query radius (Inf = all).
+    std::array<Coord, 3> dims{64, 64, 128}; ///< MLP layer widths.
+};
+
+/** Table 4's SA parameter sets, 1-indexed like the paper (SA1..SA9). */
+SaParams pointNetSa(unsigned index);
+
+/**
+ * The SSG classifier: SA1 -> SA2 -> SA3 -> FCx3 over @p points random
+ * points (paper: 4k, normalized to [0,1)). Phases are named
+ * "SA<i>.<stage>" so the Fig 19 timeline can group them.
+ */
+Workload makePointNetSSG(Coord points);
+
+/** The MSG classifier: [SA4,SA5,SA6] -> [SA7,SA8,SA9] -> SA3 -> FCx3. */
+Workload makePointNetMSG(Coord points);
+
+} // namespace infs
+
+#endif // INFS_WORKLOADS_POINTNET_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Jacobi stencils (Table 3: stencil1d/2d/3d): shift movement, elementwise
+ * compute, iterative sweeps alternating source and destination arrays.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace infs {
+
+namespace {
+
+/** Common scaffolding for the three stencils. */
+Workload
+stencilCommon(std::string name, std::vector<Coord> shape, unsigned iters,
+              unsigned points)
+{
+    std::int64_t elems = 1;
+    for (Coord s : shape)
+        elems *= s;
+    Workload w;
+    w.name = std::move(name);
+    w.primaryShape = shape;
+    w.footprintBytes = wl::fp32Bytes(2 * elems);
+    w.dirtyBytes = wl::fp32Bytes(elems);
+
+    w.setup = [shape](ArrayStore &s) {
+        ArrayId a = s.declare("A", shape);
+        s.declare("B", shape);
+        wl::randomFill(s, a, -1, 1, 7);
+    };
+
+    Phase p;
+    p.name = "sweep";
+    p.iterations = iters;
+    p.sameTdfgEachIter = true; // Memoized commands (§4.2: stencils).
+    NearStream ld, st;
+    ld.pattern = AccessPattern::linear(0, 0, elems);
+    ld.forwardTo = 1;
+    st.pattern = AccessPattern::linear(1, 0, elems);
+    st.isStore = true;
+    st.flopsPerElem = points;
+    p.streams = {ld, st};
+    p.coreFlopsPerIter = static_cast<std::uint64_t>(elems) * points;
+    p.coreBytesPerIter = wl::fp32Bytes(2 * elems);
+    w.phases.push_back(std::move(p));
+    return w;
+}
+
+} // namespace
+
+Workload
+makeStencil1d(Coord n, unsigned iters)
+{
+    Workload w = stencilCommon("stencil1d", {n}, iters, 3);
+    w.phases[0].buildTdfg = [n](std::uint64_t it) {
+        ArrayId src = static_cast<ArrayId>(it % 2);
+        ArrayId dst = static_cast<ArrayId>(1 - it % 2);
+        TdfgGraph g(1, "stencil1d");
+        NodeId a0 = g.tensor(src, HyperRect::interval(0, n - 2));
+        NodeId a1 = g.tensor(src, HyperRect::interval(1, n - 1));
+        NodeId a2 = g.tensor(src, HyperRect::interval(2, n));
+        NodeId sum = g.compute(BitOp::Add,
+                               {g.move(a0, 0, 1), a1, g.move(a2, 0, -1)});
+        NodeId scaled = g.compute(BitOp::Mul, {sum, g.constant(1.0 / 3)});
+        g.output(scaled, dst);
+        return g;
+    };
+    w.reference = [n, iters](ArrayStore &s) {
+        for (unsigned it = 0; it < iters; ++it) {
+            auto &src = s.array(static_cast<ArrayId>(it % 2)).data;
+            auto &dst = s.array(static_cast<ArrayId>(1 - it % 2)).data;
+            for (Coord i = 1; i < n - 1; ++i)
+                dst[i] = (src[i - 1] + src[i] + src[i + 1]) *
+                         (1.0f / 3.0f);
+        }
+    };
+    return w;
+}
+
+Workload
+makeStencil2d(Coord n0, Coord n1, unsigned iters)
+{
+    Workload w = stencilCommon("stencil2d", {n0, n1}, iters, 5);
+    w.phases[0].buildTdfg = [n0, n1](std::uint64_t it) {
+        ArrayId src = static_cast<ArrayId>(it % 2);
+        ArrayId dst = static_cast<ArrayId>(1 - it % 2);
+        TdfgGraph g(2, "stencil2d");
+        HyperRect inner = HyperRect::box2(1, n0 - 1, 1, n1 - 1);
+        // Accumulate pairwise so each moved tensor's register frees
+        // right after use (8 wordline registers, no spilling — §6).
+        NodeId acc = g.tensor(src, inner);
+        for (unsigned dim = 0; dim < 2; ++dim)
+            for (Coord d : {Coord(-1), Coord(1)}) {
+                NodeId t = g.tensor(src, inner.shifted(dim, d));
+                acc = g.compute(BitOp::Add, {acc, g.move(t, dim, -d)});
+            }
+        g.output(g.compute(BitOp::Mul, {acc, g.constant(0.2)}), dst);
+        return g;
+    };
+    w.reference = [n0, n1, iters](ArrayStore &s) {
+        for (unsigned it = 0; it < iters; ++it) {
+            auto &src = s.array(static_cast<ArrayId>(it % 2));
+            auto &dst = s.array(static_cast<ArrayId>(1 - it % 2));
+            for (Coord j = 1; j < n1 - 1; ++j)
+                for (Coord i = 1; i < n0 - 1; ++i)
+                    dst.at({i, j}) =
+                        0.2f * (src.at({i, j}) + src.at({i - 1, j}) +
+                                src.at({i + 1, j}) + src.at({i, j - 1}) +
+                                src.at({i, j + 1}));
+        }
+    };
+    return w;
+}
+
+Workload
+makeStencil3d(Coord n0, Coord n1, Coord n2, unsigned iters)
+{
+    Workload w = stencilCommon("stencil3d", {n0, n1, n2}, iters, 7);
+    w.phases[0].buildTdfg = [n0, n1, n2](std::uint64_t it) {
+        ArrayId src = static_cast<ArrayId>(it % 2);
+        ArrayId dst = static_cast<ArrayId>(1 - it % 2);
+        TdfgGraph g(3, "stencil3d");
+        HyperRect inner =
+            HyperRect::box3(1, n0 - 1, 1, n1 - 1, 1, n2 - 1);
+        // Pairwise accumulation keeps register pressure at four slots.
+        NodeId acc = g.tensor(src, inner);
+        for (unsigned dim = 0; dim < 3; ++dim) {
+            for (Coord d : {Coord(-1), Coord(1)}) {
+                NodeId t = g.tensor(src, inner.shifted(dim, d));
+                acc = g.compute(BitOp::Add, {acc, g.move(t, dim, -d)});
+            }
+        }
+        g.output(g.compute(BitOp::Mul, {acc, g.constant(1.0 / 7)}), dst);
+        return g;
+    };
+    w.reference = [n0, n1, n2, iters](ArrayStore &s) {
+        for (unsigned it = 0; it < iters; ++it) {
+            auto &src = s.array(static_cast<ArrayId>(it % 2));
+            auto &dst = s.array(static_cast<ArrayId>(1 - it % 2));
+            for (Coord k = 1; k < n2 - 1; ++k)
+                for (Coord j = 1; j < n1 - 1; ++j)
+                    for (Coord i = 1; i < n0 - 1; ++i)
+                        dst.at({i, j, k}) =
+                            (1.0f / 7.0f) *
+                            (src.at({i, j, k}) + src.at({i - 1, j, k}) +
+                             src.at({i + 1, j, k}) + src.at({i, j - 1, k}) +
+                             src.at({i, j + 1, k}) + src.at({i, j, k - 1}) +
+                             src.at({i, j, k + 1}));
+        }
+    };
+    return w;
+}
+
+} // namespace infs

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "bitserial/latency.hh"
+
+namespace infs {
+namespace {
+
+TEST(Latency, IntAddIsLinearInWidth)
+{
+    LatencyTable lat;
+    EXPECT_EQ(lat.opCycles(BitOp::Add, DType::Int8), 8u);
+    EXPECT_EQ(lat.opCycles(BitOp::Add, DType::Int16), 16u);
+    EXPECT_EQ(lat.opCycles(BitOp::Add, DType::Int32), 32u);
+    EXPECT_EQ(lat.opCycles(BitOp::Add, DType::Int64), 64u);
+}
+
+TEST(Latency, IntMulIsQuadratic)
+{
+    LatencyTable lat;
+    // n^2 + 5n per §5.2.
+    EXPECT_EQ(lat.opCycles(BitOp::Mul, DType::Int32), 32u * 32u + 5u * 32u);
+    EXPECT_EQ(lat.opCycles(BitOp::Mul, DType::Int8), 8u * 8u + 5u * 8u);
+}
+
+TEST(Latency, Fp32UsesCalibratedConstants)
+{
+    LatencyTable lat;
+    EXPECT_EQ(lat.opCycles(BitOp::Add, DType::Fp32), lat.fp32Add);
+    EXPECT_EQ(lat.opCycles(BitOp::Mul, DType::Fp32), lat.fp32Mul);
+    EXPECT_EQ(lat.opCycles(BitOp::Max, DType::Fp32), lat.fp32Max);
+    // fp32 mul costs more than int32 mul's bit-serial shift-add.
+    EXPECT_GT(lat.opCycles(BitOp::Div, DType::Fp32),
+              lat.opCycles(BitOp::Mul, DType::Fp32));
+}
+
+TEST(Latency, DTypeWidths)
+{
+    EXPECT_EQ(dtypeBits(DType::Fp32), 32u);
+    EXPECT_EQ(dtypeBytes(DType::Int64), 8u);
+    EXPECT_EQ(dtypeBytes(DType::Int8), 1u);
+}
+
+TEST(Latency, IntraShiftIsOneCyclePerBit)
+{
+    LatencyTable lat;
+    EXPECT_EQ(lat.intraShiftCycles(DType::Fp32), 32u);
+    EXPECT_EQ(lat.intraShiftCycles(DType::Int8), 8u);
+}
+
+} // namespace
+} // namespace infs

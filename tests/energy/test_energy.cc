@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+namespace infs {
+namespace {
+
+TEST(Energy, ChargesAccumulate)
+{
+    EnergyAccount acc;
+    acc.charge(EnergyEvent::DramAccess, 10);
+    acc.charge(EnergyEvent::CoreOp, 1000);
+    EXPECT_DOUBLE_EQ(acc.count(EnergyEvent::DramAccess), 10.0);
+    EXPECT_DOUBLE_EQ(acc.joules(EnergyEvent::DramAccess),
+                     10 * 1300.0 * 1e-12);
+    EXPECT_DOUBLE_EQ(acc.totalJoules(),
+                     (10 * 1300.0 + 1000 * 15.0) * 1e-12);
+}
+
+TEST(Energy, DramDominatesCacheAccessPerByte)
+{
+    // Sanity on the cost ordering that drives Fig. 18: DRAM line >> L3
+    // line >> SRAM row op.
+    EnergyCosts c;
+    EXPECT_GT(c.of(EnergyEvent::DramAccess), c.of(EnergyEvent::L3Access));
+    EXPECT_GT(c.of(EnergyEvent::L3Access),
+              c.of(EnergyEvent::SramRowActivate));
+    EXPECT_GT(c.of(EnergyEvent::L3Access), c.of(EnergyEvent::L1Access));
+}
+
+TEST(Energy, ResetZeroes)
+{
+    EnergyAccount acc;
+    acc.charge(EnergyEvent::NocHopFlit, 5);
+    acc.reset();
+    EXPECT_DOUBLE_EQ(acc.totalJoules(), 0.0);
+}
+
+TEST(Energy, EventNames)
+{
+    EXPECT_STREQ(energyEventName(EnergyEvent::SramRowActivate),
+                 "sram_row_activate");
+    EXPECT_STREQ(energyEventName(EnergyEvent::HtreeRowMove),
+                 "htree_row_move");
+}
+
+TEST(Area, PaperOverheadNumbers)
+{
+    AreaModel area;
+    // §8: 66.75 mm² in-memory + 28.16 mm² near-memory = 6.52% of chip.
+    EXPECT_NEAR(area.overheadFraction(), 0.0652, 0.0005);
+    EXPECT_DOUBLE_EQ(area.inMemoryMm2, 66.75);
+    EXPECT_DOUBLE_EQ(area.nearMemoryMm2, 28.16);
+}
+
+} // namespace
+} // namespace infs

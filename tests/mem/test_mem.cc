@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/l3_model.hh"
+
+namespace infs {
+namespace {
+
+TEST(AddressMap, InterleavesAtOneKb)
+{
+    AddressMap map(L3Config{});
+    EXPECT_EQ(map.homeBank(0), 0u);
+    EXPECT_EQ(map.homeBank(1023), 0u);
+    EXPECT_EQ(map.homeBank(1024), 1u);
+    EXPECT_EQ(map.homeBank(64 * 1024), 0u); // Wraps at 64 banks.
+    EXPECT_EQ(map.homeBank(65 * 1024), 1u);
+}
+
+TEST(AddressMap, TileArrayRoundTrip)
+{
+    AddressMap map(L3Config{});
+    EXPECT_EQ(map.totalArrays(), 64ull * 16 * 16);
+    std::uint64_t probes[] = {0, 1, 63, 64, 1000, map.totalArrays() - 1};
+    for (std::uint64_t t : probes) {
+        ArrayLocation loc = map.tileToArray(t);
+        EXPECT_EQ(map.arrayToTile(loc), t);
+        EXPECT_LT(loc.bank, 64u);
+        EXPECT_LT(loc.way, 16u);
+        EXPECT_LT(loc.arrayInWay, 16u);
+    }
+}
+
+TEST(AddressMap, TilesMapContiguouslyToArrays)
+{
+    // §5.2: tiles map contiguously to SRAM arrays, filling one bank's
+    // 256 compute arrays before moving to the next bank.
+    AddressMap map(L3Config{});
+    EXPECT_EQ(map.tileToArray(0).bank, 0u);
+    EXPECT_EQ(map.tileToArray(1).bank, 0u);
+    EXPECT_EQ(map.tileToArray(1).arrayInWay, 1u);
+    EXPECT_EQ(map.tileToArray(255).bank, 0u);
+    EXPECT_EQ(map.tileToArray(255).way, 15u);
+    EXPECT_EQ(map.tileToArray(256).bank, 1u);
+    EXPECT_EQ(map.tileToArray(256 * 64 - 1).bank, 63u);
+    // Beyond the pool: waves wrap.
+    EXPECT_EQ(map.tileToArray(256ull * 64).bank, 0u);
+}
+
+TEST(Dram, BandwidthConversion)
+{
+    DramModel dram(DramConfig{}, 2.0);
+    // 12.8 B/cycle: 1 MB takes 81920 cycles of occupancy.
+    EXPECT_EQ(dram.occupancy(1 << 20), 81920u);
+    Tick t = dram.transfer(1 << 20);
+    EXPECT_EQ(t, 81920u + DramConfig{}.latency);
+    EXPECT_EQ(dram.totalBytes(), Bytes(1 << 20));
+}
+
+TEST(Dram, StatsReset)
+{
+    DramModel dram(DramConfig{});
+    dram.transfer(100);
+    dram.resetStats();
+    EXPECT_EQ(dram.totalBytes(), 0u);
+}
+
+TEST(L3Model, StreamBandwidthScalesWithBanks)
+{
+    L3Model l3{L3Config{}};
+    // 64 banks x 64 B/cycle = 4096 B/cycle.
+    Tick t64 = l3.streamCycles(4096 * 100, 64);
+    EXPECT_EQ(t64, 100u + L3Config{}.bankLatency);
+    Tick t1 = l3.streamCycles(4096 * 100, 1);
+    EXPECT_EQ(t1, 6400u + L3Config{}.bankLatency);
+}
+
+TEST(L3Model, WayReservation)
+{
+    L3Model l3{L3Config{}};
+    EXPECT_TRUE(l3.reserveWays(16));
+    EXPECT_EQ(l3.reservedWays(0), 16u);
+    EXPECT_FALSE(l3.reserveWays(1)); // No compute ways left.
+    // Normal capacity = 2 remaining ways worth.
+    EXPECT_EQ(l3.normalCapacity(),
+              Bytes(2) * 16 * 8 * 1024 * 64);
+    l3.releaseWays(16);
+    EXPECT_EQ(l3.reservedWays(0), 0u);
+    EXPECT_TRUE(l3.reserveWays(8));
+    l3.releaseWays(8);
+}
+
+TEST(L3Model, ReadWriteAccounting)
+{
+    L3Model l3{L3Config{}};
+    l3.read(0, 64);
+    l3.read(63, 64);
+    l3.write(5, 128);
+    EXPECT_EQ(l3.bytesRead(), 128u);
+    EXPECT_EQ(l3.bytesWritten(), 128u);
+    l3.resetStats();
+    EXPECT_EQ(l3.bytesRead(), 0u);
+}
+
+} // namespace
+} // namespace infs

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace infs {
+namespace {
+
+NocConfig
+cfg8x8()
+{
+    return NocConfig{};
+}
+
+TEST(MeshNoc, CoordinateRoundTrip)
+{
+    MeshNoc noc(cfg8x8());
+    for (BankId n = 0; n < noc.numNodes(); ++n)
+        EXPECT_EQ(noc.node(noc.coord(n)), n);
+    EXPECT_EQ(noc.coord(0), (MeshCoord{0, 0}));
+    EXPECT_EQ(noc.coord(7), (MeshCoord{7, 0}));
+    EXPECT_EQ(noc.coord(8), (MeshCoord{0, 1}));
+    EXPECT_EQ(noc.coord(63), (MeshCoord{7, 7}));
+}
+
+TEST(MeshNoc, ManhattanHops)
+{
+    MeshNoc noc(cfg8x8());
+    EXPECT_EQ(noc.hops(0, 0), 0u);
+    EXPECT_EQ(noc.hops(0, 7), 7u);
+    EXPECT_EQ(noc.hops(0, 63), 14u);
+    EXPECT_EQ(noc.hops(63, 0), 14u);
+    EXPECT_EQ(noc.hops(9, 18), 2u); // (1,1) -> (2,2).
+}
+
+TEST(MeshNoc, SendAccountsHopBytes)
+{
+    MeshNoc noc(cfg8x8());
+    noc.send(0, 7, 64, TrafficClass::Data);
+    EXPECT_DOUBLE_EQ(noc.hopBytes(TrafficClass::Data), 64.0 * 7);
+    EXPECT_DOUBLE_EQ(noc.hopBytes(TrafficClass::Control), 0.0);
+    noc.send(0, 1, 8, TrafficClass::Control);
+    EXPECT_DOUBLE_EQ(noc.hopBytes(TrafficClass::Control), 8.0);
+    EXPECT_DOUBLE_EQ(noc.totalHopBytes(), 64.0 * 7 + 8.0);
+}
+
+TEST(MeshNoc, SendLatencyModel)
+{
+    MeshNoc noc(cfg8x8());
+    // 1 hop: 5 router stages + 1 link cycle; 64B over 32B links adds 1
+    // extra serialization cycle.
+    EXPECT_EQ(noc.send(0, 1, 64, TrafficClass::Data), 6u + 1u);
+    // Local delivery costs only serialization.
+    EXPECT_EQ(noc.send(5, 5, 32, TrafficClass::Data), 0u);
+}
+
+TEST(MeshNoc, LocalMessageChargesNothing)
+{
+    MeshNoc noc(cfg8x8());
+    noc.send(3, 3, 4096, TrafficClass::Data);
+    EXPECT_DOUBLE_EQ(noc.totalHopBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(noc.utilization(1000), 0.0);
+}
+
+TEST(MeshNoc, MulticastSharesTreeLinks)
+{
+    MeshNoc noc(cfg8x8());
+    // From node 0 to nodes 1,2,3 along the same row: X-Y routes share
+    // links 0->1 and 1->2, so the tree has exactly 3 links.
+    noc.multicast(0, {1, 2, 3}, 32, TrafficClass::Data);
+    EXPECT_DOUBLE_EQ(noc.hopBytes(TrafficClass::Data), 32.0 * 3);
+    // A unicast version would charge 1 + 2 + 3 = 6 link-traversals.
+    MeshNoc noc2(cfg8x8());
+    for (BankId d : {1u, 2u, 3u})
+        noc2.send(0, d, 32, TrafficClass::Data);
+    EXPECT_DOUBLE_EQ(noc2.hopBytes(TrafficClass::Data), 32.0 * 6);
+}
+
+TEST(MeshNoc, MulticastLatencyIsFarthestLeaf)
+{
+    MeshNoc noc(cfg8x8());
+    Tick lat = noc.multicast(0, {63}, 32, TrafficClass::Data);
+    EXPECT_EQ(lat, 14u * 6u);
+}
+
+TEST(MeshNoc, UtilizationGrowsWithTraffic)
+{
+    MeshNoc noc(cfg8x8());
+    EXPECT_DOUBLE_EQ(noc.utilization(100), 0.0);
+    noc.send(0, 63, 3200, TrafficClass::Data);
+    double u1 = noc.utilization(100);
+    EXPECT_GT(u1, 0.0);
+    noc.send(63, 0, 3200, TrafficClass::Data);
+    EXPECT_GT(noc.utilization(100), u1);
+    EXPECT_LT(noc.utilization(1u << 30), 1e-3);
+}
+
+TEST(MeshNoc, ResetClearsAccounting)
+{
+    MeshNoc noc(cfg8x8());
+    noc.send(0, 5, 64, TrafficClass::Offload);
+    noc.resetStats();
+    EXPECT_DOUBLE_EQ(noc.totalHopBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(noc.utilization(10), 0.0);
+}
+
+TEST(MeshNoc, XYRoutingIsDeterministicPath)
+{
+    // Route 0 -> 9 must go east then north: through node 1, not node 8.
+    // Verify by checking which links get charged via utilization delta.
+    MeshNoc a(cfg8x8()), b(cfg8x8());
+    a.send(0, 9, 32, TrafficClass::Data);
+    // Same hop count for the Y-X path, so hopBytes match:
+    b.send(1, 8, 32, TrafficClass::Data);
+    EXPECT_DOUBLE_EQ(a.hopBytes(TrafficClass::Data),
+                     b.hopBytes(TrafficClass::Data));
+    EXPECT_EQ(a.hops(0, 9), 2u);
+}
+
+TEST(MeshNoc, TrafficClassNames)
+{
+    EXPECT_STREQ(trafficClassName(TrafficClass::Control), "control");
+    EXPECT_STREQ(trafficClassName(TrafficClass::InterTile), "inter_tile");
+}
+
+} // namespace
+} // namespace infs

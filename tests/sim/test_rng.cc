@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace infs {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BoundedStaysInBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(13), 13u);
+}
+
+TEST(Rng, FloatRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        float v = r.nextFloat(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng r(5);
+    auto first = r.next();
+    r.next();
+    r.reseed(5);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Rng, RoughlyUniformBuckets)
+{
+    Rng r(123);
+    int buckets[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBounded(8)];
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 8 - n / 80);
+        EXPECT_LT(b, n / 8 + n / 80);
+    }
+}
+
+} // namespace
+} // namespace infs

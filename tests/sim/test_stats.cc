@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace infs {
+namespace {
+
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c("x");
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    c += 2.5;
+    ++c;
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d("lat");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d("empty");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(StatRegistry, SumByPrefix)
+{
+    Counter a("noc.hops.data"), b("noc.hops.control"), c("dram.bytes");
+    a += 10;
+    b += 5;
+    c += 100;
+    StatRegistry reg;
+    reg.add(a);
+    reg.add(b);
+    reg.add(c);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("noc.hops."), 15.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("noc."), 15.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("dram."), 100.0);
+    EXPECT_DOUBLE_EQ(reg.sumByPrefix("nope."), 0.0);
+}
+
+TEST(StatRegistry, LookupAndReset)
+{
+    Counter a("a");
+    a += 7;
+    StatRegistry reg;
+    reg.add(a);
+    EXPECT_TRUE(reg.hasCounter("a"));
+    EXPECT_FALSE(reg.hasCounter("b"));
+    EXPECT_DOUBLE_EQ(reg.counter("a").value(), 7.0);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(StatRegistry, DumpIsSortedByName)
+{
+    Counter b("b.two"), a("a.one");
+    a += 1;
+    b += 2;
+    StatRegistry reg;
+    reg.add(b);
+    reg.add(a);
+    std::ostringstream os;
+    reg.dump(os);
+    auto text = os.str();
+    EXPECT_LT(text.find("a.one"), text.find("b.two"));
+}
+
+} // namespace
+} // namespace infs

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "stream/near_engine.hh"
+
+namespace infs {
+namespace {
+
+class NearEngineTest : public ::testing::Test
+{
+  protected:
+    NearEngineTest()
+        : cfg(defaultSystemConfig()), noc(cfg.noc), l3(cfg.l3),
+          dram(cfg.dram, cfg.core.ghz), map(cfg.l3),
+          engine(cfg, noc, l3, dram, map, energy)
+    {
+    }
+
+    SystemConfig cfg;
+    MeshNoc noc;
+    L3Model l3;
+    DramModel dram;
+    AddressMap map;
+    EnergyAccount energy;
+    NearStreamEngine engine;
+};
+
+TEST_F(NearEngineTest, VecAddStreams)
+{
+    // C[i] = A[i] + B[i]: two load streams forwarding to one store stream
+    // (Fig 1b). 1M elements each, fully L3 resident.
+    const std::int64_t n = 1 << 20;
+    std::vector<NearStream> streams(3);
+    streams[0].pattern = AccessPattern::linear(0, 0, n);
+    streams[0].forwardTo = 2;
+    streams[1].pattern = AccessPattern::linear(1, 0, n);
+    streams[1].forwardTo = 2;
+    streams[2].pattern = AccessPattern::linear(2, 0, n);
+    streams[2].isStore = true;
+    streams[2].flopsPerElem = 1;
+    NearExecResult r = engine.run(streams, 0);
+    EXPECT_EQ(r.elements, 3u << 20);
+    EXPECT_EQ(r.l3Bytes, Bytes(3) * 4 * n);
+    EXPECT_EQ(r.dramBytes, 0u);
+    EXPECT_EQ(r.flops, Bytes(n));
+    // Bandwidth bound: 12 MB over 64 x 64 B/cycle = 3072 cycles + fixed.
+    EXPECT_GT(r.cycles, 3000u);
+    EXPECT_LT(r.cycles, 4000u);
+    // Forwarding traffic exists but is far below core-centric movement
+    // (which would be ~bytes x avg_hops for all three arrays).
+    EXPECT_GT(noc.hopBytes(TrafficClass::Data), 0.0);
+    EXPECT_GT(noc.hopBytes(TrafficClass::Offload), 0.0);
+}
+
+TEST_F(NearEngineTest, DramBoundWhenNotResident)
+{
+    const std::int64_t n = 1 << 20;
+    std::vector<NearStream> streams(1);
+    streams[0].pattern = AccessPattern::linear(0, 0, n);
+    streams[0].l3Residency = 0.0;
+    NearExecResult r = engine.run(streams, 0);
+    EXPECT_EQ(r.dramBytes, Bytes(4) * n);
+    // 4 MB at 12.8 B/cycle ~ 327k cycles.
+    EXPECT_GT(r.cycles, 300000u);
+    EXPECT_EQ(dram.totalBytes(), Bytes(4) * n);
+}
+
+TEST_F(NearEngineTest, ComputeBoundWithHeavyPerElementWork)
+{
+    const std::int64_t n = 1 << 18;
+    std::vector<NearStream> streams(1);
+    streams[0].pattern = AccessPattern::linear(0, 0, n);
+    streams[0].flopsPerElem = 100;
+    NearExecResult r = engine.run(streams, 0);
+    // 26.2M flops / 1024 per cycle ~ 25.6k cycles, above the bw bound.
+    EXPECT_GT(r.cycles, 25000u);
+}
+
+TEST_F(NearEngineTest, IndirectStreamsCostReuseBlindTraffic)
+{
+    const std::int64_t n = 1 << 16;
+    std::vector<NearStream> affine(1), indirect(1);
+    affine[0].pattern = AccessPattern::linear(0, 0, n);
+    indirect[0].pattern = AccessPattern::gather(0, 1, n);
+    NearExecResult ra = engine.run(affine, 0);
+    double affine_traffic = noc.totalHopBytes();
+    noc.resetStats();
+    NearExecResult ri = engine.run(indirect, 0);
+    double indirect_traffic = noc.totalHopBytes();
+    EXPECT_GT(indirect_traffic, 5.0 * affine_traffic);
+    EXPECT_EQ(ra.elements, ri.elements);
+}
+
+TEST_F(NearEngineTest, ReduceSendsResultToCore)
+{
+    const std::int64_t n = 4096;
+    std::vector<NearStream> streams(1);
+    streams[0].pattern = AccessPattern::linear(0, 0, n);
+    streams[0].isReduce = true;
+    streams[0].flopsPerElem = 1;
+    NearExecResult r = engine.run(streams, 42);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(noc.hopBytes(TrafficClass::Offload), 0.0);
+}
+
+TEST_F(NearEngineTest, EnergyCharged)
+{
+    const std::int64_t n = 1 << 16;
+    std::vector<NearStream> streams(1);
+    streams[0].pattern = AccessPattern::linear(0, 0, n);
+    streams[0].flopsPerElem = 2;
+    engine.run(streams, 0);
+    EXPECT_GT(energy.count(EnergyEvent::L3Access), 0.0);
+    EXPECT_DOUBLE_EQ(energy.count(EnergyEvent::StreamEngineOp),
+                     2.0 * n);
+}
+
+} // namespace
+} // namespace infs

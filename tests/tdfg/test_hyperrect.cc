@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "tdfg/hyperrect.hh"
+
+namespace infs {
+namespace {
+
+TEST(HyperRect, BasicProperties)
+{
+    HyperRect r = HyperRect::box2(0, 4, 1, 3);
+    EXPECT_EQ(r.dims(), 2u);
+    EXPECT_EQ(r.size(0), 4);
+    EXPECT_EQ(r.size(1), 2);
+    EXPECT_EQ(r.volume(), 8);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(HyperRect, EmptyWhenAnyDimEmpty)
+{
+    EXPECT_TRUE(HyperRect::box2(0, 4, 3, 3).empty());
+    EXPECT_TRUE(HyperRect::interval(5, 2).empty());
+    EXPECT_TRUE(HyperRect().empty());
+    EXPECT_EQ(HyperRect::box2(0, 4, 3, 3).volume(), 0);
+}
+
+TEST(HyperRect, Contains)
+{
+    HyperRect r = HyperRect::box2(0, 4, 0, 4);
+    EXPECT_TRUE(r.contains({0, 0}));
+    EXPECT_TRUE(r.contains({3, 3}));
+    EXPECT_FALSE(r.contains({4, 0}));
+    EXPECT_FALSE(r.contains({0, -1}));
+}
+
+TEST(HyperRect, ContainsRect)
+{
+    HyperRect outer = HyperRect::box2(0, 10, 0, 10);
+    EXPECT_TRUE(outer.containsRect(HyperRect::box2(2, 5, 3, 9)));
+    EXPECT_FALSE(outer.containsRect(HyperRect::box2(2, 11, 3, 9)));
+    EXPECT_TRUE(outer.containsRect(HyperRect::box2(5, 5, 0, 0))); // empty
+}
+
+TEST(HyperRect, Intersect)
+{
+    HyperRect a = HyperRect::box2(0, 4, 0, 4);
+    HyperRect b = HyperRect::box2(2, 6, 1, 3);
+    HyperRect i = a.intersect(b);
+    EXPECT_EQ(i, HyperRect::box2(2, 4, 1, 3));
+    // Disjoint -> empty.
+    EXPECT_TRUE(a.intersect(HyperRect::box2(10, 12, 0, 4)).empty());
+}
+
+TEST(HyperRect, BoundingUnion)
+{
+    HyperRect a = HyperRect::box2(0, 2, 0, 2);
+    HyperRect b = HyperRect::box2(5, 6, 1, 8);
+    EXPECT_EQ(a.boundingUnion(b), HyperRect::box2(0, 6, 0, 8));
+    EXPECT_EQ(a.boundingUnion(HyperRect::box2(3, 3, 0, 0)), a); // w/ empty
+}
+
+TEST(HyperRect, ShiftedMatchesMoveSemantics)
+{
+    // Fig 4(a): A[0,N-2) moved right by 1 aligns with A[1,N-1).
+    const Coord n = 100;
+    HyperRect a0 = HyperRect::interval(0, n - 2);
+    EXPECT_EQ(a0.shifted(0, 1), HyperRect::interval(1, n - 1));
+    EXPECT_EQ(a0.shifted(0, -1), HyperRect::interval(-1, n - 3));
+}
+
+TEST(HyperRect, WithDim)
+{
+    HyperRect r = HyperRect::box2(0, 4, 0, 4);
+    EXPECT_EQ(r.withDim(1, 2, 3), HyperRect::box2(0, 4, 2, 3));
+}
+
+TEST(HyperRect, StrFormat)
+{
+    EXPECT_EQ(HyperRect::box2(0, 4, 1, 3).str(), "[0,4)x[1,3)");
+}
+
+TEST(HyperRect, ArrayAnchorsAtOrigin)
+{
+    HyperRect r = HyperRect::array({16, 8, 4});
+    EXPECT_EQ(r.dims(), 3u);
+    EXPECT_EQ(r.lo(0), 0);
+    EXPECT_EQ(r.hi(2), 4);
+    EXPECT_EQ(r.volume(), 16 * 8 * 4);
+}
+
+} // namespace
+} // namespace infs
