@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_peak.dir/bench_eq1_peak.cc.o"
+  "CMakeFiles/bench_eq1_peak.dir/bench_eq1_peak.cc.o.d"
+  "bench_eq1_peak"
+  "bench_eq1_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_tile2d.dir/bench_fig16_tile2d.cc.o"
+  "CMakeFiles/bench_fig16_tile2d.dir/bench_fig16_tile2d.cc.o.d"
+  "bench_fig16_tile2d"
+  "bench_fig16_tile2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_tile2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

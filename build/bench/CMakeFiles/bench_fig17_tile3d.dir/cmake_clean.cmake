@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tile3d.dir/bench_fig17_tile3d.cc.o"
+  "CMakeFiles/bench_fig17_tile3d.dir/bench_fig17_tile3d.cc.o.d"
+  "bench_fig17_tile3d"
+  "bench_fig17_tile3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tile3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

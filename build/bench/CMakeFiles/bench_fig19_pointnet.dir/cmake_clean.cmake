@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_pointnet.dir/bench_fig19_pointnet.cc.o"
+  "CMakeFiles/bench_fig19_pointnet.dir/bench_fig19_pointnet.cc.o.d"
+  "bench_fig19_pointnet"
+  "bench_fig19_pointnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_pointnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_paradigms.dir/bench_fig2_paradigms.cc.o"
+  "CMakeFiles/bench_fig2_paradigms.dir/bench_fig2_paradigms.cc.o.d"
+  "bench_fig2_paradigms"
+  "bench_fig2_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

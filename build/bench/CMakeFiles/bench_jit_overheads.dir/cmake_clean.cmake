@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jit_overheads.dir/bench_jit_overheads.cc.o"
+  "CMakeFiles/bench_jit_overheads.dir/bench_jit_overheads.cc.o.d"
+  "bench_jit_overheads"
+  "bench_jit_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jit_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

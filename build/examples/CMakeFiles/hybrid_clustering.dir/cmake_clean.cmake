@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_clustering.dir/hybrid_clustering.cpp.o"
+  "CMakeFiles/hybrid_clustering.dir/hybrid_clustering.cpp.o.d"
+  "hybrid_clustering"
+  "hybrid_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

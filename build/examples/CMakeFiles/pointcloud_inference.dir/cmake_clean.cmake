@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointcloud_inference.dir/pointcloud_inference.cpp.o"
+  "CMakeFiles/pointcloud_inference.dir/pointcloud_inference.cpp.o.d"
+  "pointcloud_inference"
+  "pointcloud_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointcloud_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitserial/bit_matrix.cc" "src/bitserial/CMakeFiles/infs_bitserial.dir/bit_matrix.cc.o" "gcc" "src/bitserial/CMakeFiles/infs_bitserial.dir/bit_matrix.cc.o.d"
+  "/root/repo/src/bitserial/compute_sram.cc" "src/bitserial/CMakeFiles/infs_bitserial.dir/compute_sram.cc.o" "gcc" "src/bitserial/CMakeFiles/infs_bitserial.dir/compute_sram.cc.o.d"
+  "/root/repo/src/bitserial/transpose.cc" "src/bitserial/CMakeFiles/infs_bitserial.dir/transpose.cc.o" "gcc" "src/bitserial/CMakeFiles/infs_bitserial.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/infs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_bitserial.dir/bit_matrix.cc.o"
+  "CMakeFiles/infs_bitserial.dir/bit_matrix.cc.o.d"
+  "CMakeFiles/infs_bitserial.dir/compute_sram.cc.o"
+  "CMakeFiles/infs_bitserial.dir/compute_sram.cc.o.d"
+  "CMakeFiles/infs_bitserial.dir/transpose.cc.o"
+  "CMakeFiles/infs_bitserial.dir/transpose.cc.o.d"
+  "libinfs_bitserial.a"
+  "libinfs_bitserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_bitserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_core.dir/executor.cc.o"
+  "CMakeFiles/infs_core.dir/executor.cc.o.d"
+  "libinfs_core.a"
+  "libinfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

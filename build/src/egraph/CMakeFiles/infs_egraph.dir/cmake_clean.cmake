@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_egraph.dir/egraph.cc.o"
+  "CMakeFiles/infs_egraph.dir/egraph.cc.o.d"
+  "CMakeFiles/infs_egraph.dir/optimizer.cc.o"
+  "CMakeFiles/infs_egraph.dir/optimizer.cc.o.d"
+  "libinfs_egraph.a"
+  "libinfs_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_energy.dir/energy.cc.o"
+  "CMakeFiles/infs_energy.dir/energy.cc.o.d"
+  "libinfs_energy.a"
+  "libinfs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/decompose.cc" "src/jit/CMakeFiles/infs_jit.dir/decompose.cc.o" "gcc" "src/jit/CMakeFiles/infs_jit.dir/decompose.cc.o.d"
+  "/root/repo/src/jit/jit.cc" "src/jit/CMakeFiles/infs_jit.dir/jit.cc.o" "gcc" "src/jit/CMakeFiles/infs_jit.dir/jit.cc.o.d"
+  "/root/repo/src/jit/tiling.cc" "src/jit/CMakeFiles/infs_jit.dir/tiling.cc.o" "gcc" "src/jit/CMakeFiles/infs_jit.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tdfg/CMakeFiles/infs_tdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/infs_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitserial/CMakeFiles/infs_bitserial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/infs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

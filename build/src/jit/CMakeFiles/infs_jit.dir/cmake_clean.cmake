@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_jit.dir/decompose.cc.o"
+  "CMakeFiles/infs_jit.dir/decompose.cc.o.d"
+  "CMakeFiles/infs_jit.dir/jit.cc.o"
+  "CMakeFiles/infs_jit.dir/jit.cc.o.d"
+  "CMakeFiles/infs_jit.dir/tiling.cc.o"
+  "CMakeFiles/infs_jit.dir/tiling.cc.o.d"
+  "libinfs_jit.a"
+  "libinfs_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

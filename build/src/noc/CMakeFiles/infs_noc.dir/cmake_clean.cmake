@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_noc.dir/mesh.cc.o"
+  "CMakeFiles/infs_noc.dir/mesh.cc.o.d"
+  "libinfs_noc.a"
+  "libinfs_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinfs_noc.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_sim.dir/config.cc.o"
+  "CMakeFiles/infs_sim.dir/config.cc.o.d"
+  "CMakeFiles/infs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/infs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/infs_sim.dir/logging.cc.o"
+  "CMakeFiles/infs_sim.dir/logging.cc.o.d"
+  "CMakeFiles/infs_sim.dir/stats.cc.o"
+  "CMakeFiles/infs_sim.dir/stats.cc.o.d"
+  "libinfs_sim.a"
+  "libinfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/near_engine.cc" "src/stream/CMakeFiles/infs_stream.dir/near_engine.cc.o" "gcc" "src/stream/CMakeFiles/infs_stream.dir/near_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/infs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/infs_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/infs_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

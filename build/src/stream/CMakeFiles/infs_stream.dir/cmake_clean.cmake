@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_stream.dir/near_engine.cc.o"
+  "CMakeFiles/infs_stream.dir/near_engine.cc.o.d"
+  "libinfs_stream.a"
+  "libinfs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

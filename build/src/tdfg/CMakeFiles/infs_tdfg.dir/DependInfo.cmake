@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdfg/graph.cc" "src/tdfg/CMakeFiles/infs_tdfg.dir/graph.cc.o" "gcc" "src/tdfg/CMakeFiles/infs_tdfg.dir/graph.cc.o.d"
+  "/root/repo/src/tdfg/hyperrect.cc" "src/tdfg/CMakeFiles/infs_tdfg.dir/hyperrect.cc.o" "gcc" "src/tdfg/CMakeFiles/infs_tdfg.dir/hyperrect.cc.o.d"
+  "/root/repo/src/tdfg/interp.cc" "src/tdfg/CMakeFiles/infs_tdfg.dir/interp.cc.o" "gcc" "src/tdfg/CMakeFiles/infs_tdfg.dir/interp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/infs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitserial/CMakeFiles/infs_bitserial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

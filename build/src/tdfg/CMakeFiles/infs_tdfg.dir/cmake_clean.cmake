@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_tdfg.dir/graph.cc.o"
+  "CMakeFiles/infs_tdfg.dir/graph.cc.o.d"
+  "CMakeFiles/infs_tdfg.dir/hyperrect.cc.o"
+  "CMakeFiles/infs_tdfg.dir/hyperrect.cc.o.d"
+  "CMakeFiles/infs_tdfg.dir/interp.cc.o"
+  "CMakeFiles/infs_tdfg.dir/interp.cc.o.d"
+  "libinfs_tdfg.a"
+  "libinfs_tdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_tdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_uarch.dir/bit_exec.cc.o"
+  "CMakeFiles/infs_uarch.dir/bit_exec.cc.o.d"
+  "CMakeFiles/infs_uarch.dir/system.cc.o"
+  "CMakeFiles/infs_uarch.dir/system.cc.o.d"
+  "CMakeFiles/infs_uarch.dir/tensor_controller.cc.o"
+  "CMakeFiles/infs_uarch.dir/tensor_controller.cc.o.d"
+  "libinfs_uarch.a"
+  "libinfs_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

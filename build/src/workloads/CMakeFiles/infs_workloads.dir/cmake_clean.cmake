@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infs_workloads.dir/conv.cc.o"
+  "CMakeFiles/infs_workloads.dir/conv.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/dwt.cc.o"
+  "CMakeFiles/infs_workloads.dir/dwt.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/gather_mlp.cc.o"
+  "CMakeFiles/infs_workloads.dir/gather_mlp.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/gauss.cc.o"
+  "CMakeFiles/infs_workloads.dir/gauss.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/infs_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/microbench.cc.o"
+  "CMakeFiles/infs_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/mm.cc.o"
+  "CMakeFiles/infs_workloads.dir/mm.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/pointnet.cc.o"
+  "CMakeFiles/infs_workloads.dir/pointnet.cc.o.d"
+  "CMakeFiles/infs_workloads.dir/stencils.cc.o"
+  "CMakeFiles/infs_workloads.dir/stencils.cc.o.d"
+  "libinfs_workloads.a"
+  "libinfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

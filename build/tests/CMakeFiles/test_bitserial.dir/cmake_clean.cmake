@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitserial.dir/bitserial/test_bit_matrix.cc.o"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_bit_matrix.cc.o.d"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_compute_sram.cc.o"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_compute_sram.cc.o.d"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_latency.cc.o"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_latency.cc.o.d"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_transpose.cc.o"
+  "CMakeFiles/test_bitserial.dir/bitserial/test_transpose.cc.o.d"
+  "test_bitserial"
+  "test_bitserial.pdb"
+  "test_bitserial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

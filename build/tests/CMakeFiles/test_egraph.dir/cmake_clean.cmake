@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egraph.dir/egraph/test_egraph.cc.o"
+  "CMakeFiles/test_egraph.dir/egraph/test_egraph.cc.o.d"
+  "CMakeFiles/test_egraph.dir/egraph/test_optimizer.cc.o"
+  "CMakeFiles/test_egraph.dir/egraph/test_optimizer.cc.o.d"
+  "test_egraph"
+  "test_egraph.pdb"
+  "test_egraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

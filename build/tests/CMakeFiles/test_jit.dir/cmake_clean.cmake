@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit.dir/jit/test_decompose.cc.o"
+  "CMakeFiles/test_jit.dir/jit/test_decompose.cc.o.d"
+  "CMakeFiles/test_jit.dir/jit/test_jit.cc.o"
+  "CMakeFiles/test_jit.dir/jit/test_jit.cc.o.d"
+  "CMakeFiles/test_jit.dir/jit/test_tiling.cc.o"
+  "CMakeFiles/test_jit.dir/jit/test_tiling.cc.o.d"
+  "test_jit"
+  "test_jit.pdb"
+  "test_jit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

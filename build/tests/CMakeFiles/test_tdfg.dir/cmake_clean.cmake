@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdfg.dir/tdfg/test_graph.cc.o"
+  "CMakeFiles/test_tdfg.dir/tdfg/test_graph.cc.o.d"
+  "CMakeFiles/test_tdfg.dir/tdfg/test_hyperrect.cc.o"
+  "CMakeFiles/test_tdfg.dir/tdfg/test_hyperrect.cc.o.d"
+  "CMakeFiles/test_tdfg.dir/tdfg/test_interp.cc.o"
+  "CMakeFiles/test_tdfg.dir/tdfg/test_interp.cc.o.d"
+  "test_tdfg"
+  "test_tdfg.pdb"
+  "test_tdfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

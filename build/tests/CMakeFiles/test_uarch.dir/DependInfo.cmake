@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uarch/test_bit_exec.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_bit_exec.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_bit_exec.cc.o.d"
+  "/root/repo/tests/uarch/test_tensor_controller.cc" "tests/CMakeFiles/test_uarch.dir/uarch/test_tensor_controller.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/uarch/test_tensor_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/infs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/infs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/infs_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/infs_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/infs_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/infs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/infs_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/infs_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdfg/CMakeFiles/infs_tdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitserial/CMakeFiles/infs_bitserial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/infs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
