@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite —
+# once plain and once under ASan+UBSan (INFS_SANITIZE=ON).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+mode=${1:-all}
+
+run_suite() {
+    local dir=$1
+    shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$jobs"
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [[ $mode != --sanitize-only ]]; then
+    echo "== plain build =="
+    run_suite build
+fi
+
+if [[ $mode != --plain-only ]]; then
+    echo "== sanitized build (ASan+UBSan) =="
+    run_suite build-asan -DINFS_SANITIZE=ON
+fi
+
+echo "check.sh: all suites passed"

@@ -84,6 +84,25 @@ class ComputeSram
     void writeFloat(unsigned bitline, unsigned wl, float v);
 
     // ------------------------------------------------------------------
+    // Fault-injection support.
+    // ------------------------------------------------------------------
+
+    /** Flip one stored bit in place (models a transient SRAM upset). */
+    void
+    flipBit(unsigned wl, unsigned bitline)
+    {
+        bits_.set(wl, bitline, !bits_.get(wl, bitline));
+    }
+
+    /** Even parity over wordline @p wl (the per-row parity code that
+     * detects single-bit upsets). */
+    bool
+    rowParity(unsigned wl) const
+    {
+        return (bits_.row(wl).popcount() & 1u) != 0;
+    }
+
+    // ------------------------------------------------------------------
     // Bit-serial compute. Each returns the cycle cost from the latency
     // table; the bits in the matrix are updated as the hardware would.
     // ------------------------------------------------------------------

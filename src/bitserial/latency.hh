@@ -18,35 +18,8 @@
 
 namespace infs {
 
-/** Element data types supported by the in-memory engine. */
-enum class DType : std::uint8_t {
-    Int8,
-    Int16,
-    Int32,
-    Int64,
-    Fp32,
-};
-
-/** Bit width of a data type. */
-constexpr unsigned
-dtypeBits(DType t)
-{
-    switch (t) {
-      case DType::Int8: return 8;
-      case DType::Int16: return 16;
-      case DType::Int32: return 32;
-      case DType::Int64: return 64;
-      case DType::Fp32: return 32;
-    }
-    return 0;
-}
-
-/** Byte width of a data type. */
-constexpr unsigned
-dtypeBytes(DType t)
-{
-    return dtypeBits(t) / 8;
-}
+// DType and dtypeBits/dtypeBytes live in sim/types.hh so configuration
+// code can name element types without depending on the bitserial layer.
 
 /** Operations executable by the bit-serial PEs. */
 enum class BitOp : std::uint8_t {

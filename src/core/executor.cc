@@ -129,6 +129,38 @@ Executor::corePhaseCycles(const Phase &p, unsigned threads, ExecStats &st,
 }
 
 void
+Executor::degradeRegion(const Phase &p, ExecStats &st,
+                        std::uint64_t first_iter, std::uint64_t iters,
+                        const Error &err)
+{
+    ++st.regionsDegraded;
+    const bool near_ok =
+        !p.streams.empty() || static_cast<bool>(p.buildStreams);
+    infs_warn("phase '%s': in-memory region failed (%s); degrading to %s",
+              p.name.c_str(), err.str().c_str(),
+              near_ok ? "near-memory streams" : "the core");
+    if (near_ok) {
+        // Near-L3 fallback: the stream form covers the whole phase
+        // (including final reductions), mirroring runNearL3. This is the
+        // In-L3 -> Near-L3 step of the degradation chain, so it applies
+        // even when the paradigm is not fused.
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            NearExecResult r = sys_.nearEngine().run(
+                p.buildStreams ? p.buildStreams(first_iter + i)
+                               : p.streams,
+                0);
+            st.nearMemCycles += r.cycles;
+            st.cycles += r.cycles;
+        }
+    } else {
+        Tick per_iter =
+            corePhaseCycles(p, sys_.config().numCores(), st, iters);
+        st.coreCycles += per_iter * iters;
+        st.cycles += per_iter * iters;
+    }
+}
+
+void
 Executor::runBase(const Workload &w, ExecStats &st, unsigned threads)
 {
     // Cold data comes from DRAM once per workload.
@@ -222,6 +254,21 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
     } else if (have_tdfg) {
         tile = policy.choose(w.primaryShape, w.elemBytes, hints);
     }
+    TiledLayout layout;
+    if (tile.valid) {
+        auto made = TiledLayout::make(w.primaryShape, tile.tile);
+        if (!made) {
+            // A forced tile violating the layout constraints is a
+            // recoverable user error, not a crash: degrade the whole
+            // region to the fallback paradigm below.
+            infs_warn("workload '%s': %s; disabling in-memory execution",
+                      w.name.c_str(), made.error().str().c_str());
+            ++st.regionsDegraded;
+            tile.valid = false;
+        } else {
+            layout = std::move(*made);
+        }
+    }
     if (!have_tdfg || !tile.valid) {
         // In-memory computing disabled (§4.1): fall back to near-memory
         // when fused, else to the core.
@@ -231,7 +278,6 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             runBase(w, st, cfg.numCores());
         return;
     }
-    TiledLayout layout(w.primaryShape, tile.tile);
     st.chosenTile = tile.tile;
 
     // Data preparation (§5.2) happens lazily, at the first phase that
@@ -365,25 +411,70 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             // The first iteration pays the JIT; the rest reuse the
             // memoized program (§4.2).
             std::string key = w.name + "/" + p.name;
-            auto prog = sys_.jit().lower(g0, *use_layout, sys_.map(), key);
+            auto prog_or =
+                sys_.jit().tryLower(g0, *use_layout, sys_.map(), key);
+            if (!prog_or) {
+                degradeRegion(p, st, 0, p.iterations, prog_or.error());
+                st.phaseCycles.emplace_back(p.name,
+                                            st.cycles - phase_start);
+                continue;
+            }
+            const auto &prog = *prog_or;
             if (jit_enabled) {
                 st.jitCycles += prog->jitTicks;
                 st.cycles += prog->jitTicks;
             }
-            accumulate(sys_.tensorController().execute(
-                *prog, *use_layout, 0, p.iterations));
+            InMemExecResult r = sys_.tensorController().execute(
+                *prog, *use_layout, 0, p.iterations);
+            if (r.failed) {
+                // The aborted attempt (including its retry time) is sunk
+                // cost; the region then reruns on the fallback path.
+                st.cycles += r.cycles;
+                degradeRegion(p, st, 0, p.iterations,
+                              Error{ErrCode::CommandFailed,
+                                    "in-memory command fault persisted "
+                                    "past the retry budget"});
+                st.phaseCycles.emplace_back(p.name,
+                                            st.cycles - phase_start);
+                continue;
+            }
+            accumulate(r);
         } else {
             // Changing parameters defeat memoization (gauss_elim, §8).
+            bool degraded = false;
             for (std::uint64_t it = 0; it < p.iterations; ++it) {
                 TdfgGraph g = it == 0 ? std::move(g0) : p.buildTdfg(it);
-                auto prog = sys_.jit().lower(g, *use_layout, sys_.map());
+                auto prog_or =
+                    sys_.jit().tryLower(g, *use_layout, sys_.map());
+                if (!prog_or) {
+                    degradeRegion(p, st, it, p.iterations - it,
+                                  prog_or.error());
+                    degraded = true;
+                    break;
+                }
+                const auto &prog = *prog_or;
                 if (jit_enabled) {
                     st.jitCycles += prog->jitTicks;
                     st.cycles += prog->jitTicks;
                 }
-                accumulate(
-                    sys_.tensorController().execute(*prog, *use_layout,
-                                                    0));
+                InMemExecResult r = sys_.tensorController().execute(
+                    *prog, *use_layout, 0);
+                if (r.failed) {
+                    st.cycles += r.cycles;
+                    degradeRegion(p, st, it, p.iterations - it,
+                                  Error{ErrCode::CommandFailed,
+                                        "in-memory command fault "
+                                        "persisted past the retry "
+                                        "budget"});
+                    degraded = true;
+                    break;
+                }
+                accumulate(r);
+            }
+            if (degraded) {
+                st.phaseCycles.emplace_back(p.name,
+                                            st.cycles - phase_start);
+                continue;
             }
         }
 
@@ -443,6 +534,14 @@ Executor::finalizeStats(ExecStats &st) const
     sys_.energy().charge(EnergyEvent::DramAccess,
                          static_cast<double>(st.dramBytes) / lineBytes);
     st.energyJoules = sys_.energy().totalJoules();
+
+    // Fault and recovery totals come from the injector — the single
+    // source of truth across the NoC, the controller, and the fabric.
+    FaultStats fs = sys_.faultInjector().snapshot();
+    st.faultsInjected = fs.totalInjected();
+    st.faultsDetected = fs.detected;
+    st.faultRetries = fs.retries;
+    st.retryCycles = static_cast<Tick>(fs.retryCycles);
 }
 
 } // namespace infs

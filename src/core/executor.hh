@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/workload.hh"
+#include "sim/expected.hh"
 #include "uarch/system.hh"
 
 namespace infs {
@@ -47,6 +48,16 @@ struct ExecStats {
 
     double energyJoules = 0.0;
     Bytes dramBytes = 0;
+
+    // Robustness accounting (fault injection + graceful degradation).
+    std::uint64_t faultsInjected = 0; ///< Faults the injector produced.
+    std::uint64_t faultsDetected = 0; ///< Caught by parity/ECC/CRC.
+    std::uint64_t faultRetries = 0;   ///< Bounded re-issues performed.
+    Tick retryCycles = 0;             ///< Detection + retry time modeled.
+    /** Regions that could not run in memory (lowering failure or fault
+     * persisting past the retry budget) and fell back In-L3 -> Near-L3 ->
+     * core. Excludes the pre-existing Eq. 2 / untileable fallbacks. */
+    std::uint64_t regionsDegraded = 0;
 
     /** Per-phase makespan in phase order (drives the Fig 19 timeline). */
     std::vector<std::pair<std::string, Tick>> phaseCycles;
@@ -91,6 +102,17 @@ class Executor
      * traffic and energy are charged for all @p iters at once. */
     Tick corePhaseCycles(const Phase &p, unsigned threads, ExecStats &st,
                          std::uint64_t iters) const;
+
+    /**
+     * Graceful degradation of an in-memory region that failed (lowering
+     * diagnostic or a fault past the retry budget): run iterations
+     * [@p first_iter, first_iter + iters) of @p p near memory when the
+     * phase has a stream form — even for In-L3, completing the
+     * In-L3 -> Near-L3 -> core chain — else in the core.
+     */
+    void degradeRegion(const Phase &p, ExecStats &st,
+                       std::uint64_t first_iter, std::uint64_t iters,
+                       const Error &err);
 
     void runFunctional(const Workload &w, ArrayStore &store);
     void finalizeStats(ExecStats &st) const;

@@ -64,9 +64,28 @@ decomposeFrom(const HyperRect &tensor, const std::vector<Coord> &tile,
 std::vector<HyperRect>
 decomposeTensor(const HyperRect &tensor, const std::vector<Coord> &tile)
 {
-    infs_assert(tensor.dims() == tile.size(),
-                "tensor rank %u != tile rank %zu", tensor.dims(),
-                tile.size());
+    auto res = tryDecomposeTensor(tensor, tile);
+    infs_assert(res.ok(), "decomposeTensor: %s", res.error().str().c_str());
+    return std::move(res.value());
+}
+
+Expected<std::vector<HyperRect>>
+tryDecomposeTensor(const HyperRect &tensor, const std::vector<Coord> &tile)
+{
+    using Result = Expected<std::vector<HyperRect>>;
+    if (tensor.dims() != tile.size()) {
+        return Result::failure(
+            ErrCode::LayoutConstraint,
+            "tensor rank " + std::to_string(tensor.dims()) +
+                " != tile rank " + std::to_string(tile.size()));
+    }
+    for (std::size_t d = 0; d < tile.size(); ++d) {
+        if (tile[d] <= 0) {
+            return Result::failure(ErrCode::LayoutConstraint,
+                                   "tile dim " + std::to_string(d) +
+                                       " must be positive");
+        }
+    }
     std::vector<HyperRect> out;
     if (tensor.empty())
         return out;

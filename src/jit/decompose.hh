@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "sim/expected.hh"
 #include "tdfg/hyperrect.hh"
 
 namespace infs {
@@ -21,6 +22,14 @@ namespace infs {
  */
 std::vector<HyperRect> decomposeTensor(const HyperRect &tensor,
                                        const std::vector<Coord> &tile);
+
+/**
+ * Recoverable form of decomposeTensor: malformed inputs (rank mismatch,
+ * non-positive tile dimension) come back as a LayoutConstraint diagnostic
+ * instead of aborting, so the runtime can degrade the region.
+ */
+Expected<std::vector<HyperRect>>
+tryDecomposeTensor(const HyperRect &tensor, const std::vector<Coord> &tile);
 
 } // namespace infs
 

@@ -1,6 +1,7 @@
 #include "jit/jit.hh"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 namespace infs {
@@ -120,16 +121,20 @@ ceilLog2(Coord v)
 
 } // namespace
 
-InMemProgram
+Expected<InMemProgram>
 JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                      const AddressMap &map)
 {
     InMemProgram prog;
-    const unsigned bits = 32; // fp32 workloads (Table 3).
+    const DType elem = cfg_.tensor.elemType;
+    const unsigned bits = dtypeBits(elem);
     const unsigned num_slots = numSlots();
+    // Recoverable failure raised by the allocation lambdas; checked after
+    // every allocation site so the first diagnostic wins.
+    std::optional<Error> err;
 
     // ---- Wordline allocation (the static compiler's register allocation
-    // of §3.4; slot = 32 consecutive wordlines). Arrays referenced by
+    // of §3.4; slot = `bits` consecutive wordlines). Arrays referenced by
     // tensor/output nodes get stable home slots; temporaries reuse slots
     // freed at their last use. No spilling (§6 limitation 3).
     std::unordered_map<ArrayId, unsigned> array_slot;
@@ -138,10 +143,17 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
         if (it != array_slot.end())
             return it->second;
         unsigned slot = static_cast<unsigned>(array_slot.size());
-        infs_assert(slot < num_slots,
-                    "out of wordline slots for arrays (%u available) — "
-                    "register spilling unsupported (§6)",
-                    num_slots);
+        if (slot >= num_slots) {
+            if (!err) {
+                err = Error{ErrCode::OutOfSlots,
+                            "tDFG '" + g.name() +
+                                "': out of wordline slots for arrays (" +
+                                std::to_string(num_slots) +
+                                " available) — register spilling "
+                                "unsupported (§6)"};
+            }
+            return 0;
+        }
         array_slot.emplace(a, slot);
         return slot;
     };
@@ -151,6 +163,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             arrayHome(n.array);
     for (const auto &o : g.outputs())
         arrayHome(o.array);
+    if (err)
+        return *err;
 
     // Last use of each node.
     std::vector<NodeId> last_use(g.size());
@@ -176,9 +190,14 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                 return s;
             }
         }
-        infs_panic("tDFG '%s': out of wordline registers (%u slots) — "
-                   "register spilling unsupported (§6)",
-                   g.name().c_str(), num_slots);
+        if (!err) {
+            err = Error{ErrCode::OutOfSlots,
+                        "tDFG '" + g.name() +
+                            "': out of wordline registers (" +
+                            std::to_string(num_slots) +
+                            " slots) — register spilling unsupported (§6)"};
+        }
+        return 0;
     };
     auto freeDeadSlots = [&](NodeId now) {
         // Free slots whose owner was last consumed by the node just
@@ -226,16 +245,35 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             syncIfPending();
             const NodeLocation &src = loc[n.operands[0]];
             infs_assert(src.resident, "move of non-resident node");
+            if (n.dim >= layout.dims()) {
+                return Error{ErrCode::UnsupportedMove,
+                             "tDFG '" + g.name() + "': mv along dim " +
+                                 std::to_string(n.dim) + " of a rank-" +
+                                 std::to_string(layout.dims()) + " layout"};
+            }
+            const Coord mv_abs = n.dist >= 0 ? n.dist : -n.dist;
+            if (mv_abs >= layout.shape()[n.dim]) {
+                return Error{ErrCode::UnsupportedMove,
+                             "tDFG '" + g.name() + "': mv distance " +
+                                 std::to_string(n.dist) +
+                                 " exceeds array extent " +
+                                 std::to_string(layout.shape()[n.dim]) +
+                                 " along dim " + std::to_string(n.dim)};
+            }
             unsigned dst_wl = allocSlot(id) * bits;
+            if (err)
+                return *err;
             // Alg. 1 then Alg. 2 per decomposed subtensor.
             const HyperRect &src_dom = g.domainOf(n.operands[0]);
-            for (const HyperRect &sub :
-                 decomposeTensor(src_dom, layout.tile())) {
+            auto subs = tryDecomposeTensor(src_dom, layout.tile());
+            if (!subs)
+                return subs.error();
+            for (const HyperRect &sub : *subs) {
                 for (InMemCommand c :
                      compileMove(sub, n.dim, n.dist,
                                  layout.tileSize(n.dim))) {
                     c.group = id;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     c.wlA = src.wl;
                     c.wlDst = dst_wl;
                     c.banks = banksOf(
@@ -255,9 +293,13 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             const NodeLocation &src = loc[n.operands[0]];
             infs_assert(src.resident, "broadcast of non-resident node");
             unsigned dst_wl = allocSlot(id) * bits;
+            if (err)
+                return *err;
             const HyperRect &src_dom = g.domainOf(n.operands[0]);
-            for (const HyperRect &sub :
-                 decomposeTensor(src_dom, layout.tile())) {
+            auto subs = tryDecomposeTensor(src_dom, layout.tile());
+            if (!subs)
+                return subs.error();
+            for (const HyperRect &sub : *subs) {
                 InMemCommand c;
                 c.kind = CmdKind::BroadcastBl;
                 c.group = id;
@@ -265,7 +307,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                 c.dim = n.dim;
                 c.bcCount = n.count;
                 c.bcDist = n.dist;
-                c.dtype = DType::Fp32;
+                c.dtype = elem;
                 c.wlA = src.wl;
                 c.wlDst = dst_wl;
                 // Banks: source plus the whole destination region.
@@ -283,6 +325,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
           case TdfgKind::Compute: {
             syncIfPending();
             unsigned dst_wl = allocSlot(id) * bits;
+            if (err)
+                return *err;
             // Chain n-ary computes into binary commands.
             // Gather tensor operands and at most the constants as imms.
             std::vector<NodeId> tensor_ops;
@@ -294,8 +338,10 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     tensor_ops.push_back(op);
             }
             infs_assert(!tensor_ops.empty(), "compute with only consts");
-            for (const HyperRect &sub :
-                 decomposeTensor(n.domain, layout.tile())) {
+            auto subs = tryDecomposeTensor(n.domain, layout.tile());
+            if (!subs)
+                return subs.error();
+            for (const HyperRect &sub : *subs) {
                 auto banks = banksOf(sub);
                 unsigned cur_wl = loc[tensor_ops[0]].wl;
                 // Fold further tensor operands pairwise.
@@ -304,7 +350,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.kind = CmdKind::Compute;
                     c.group = id;
                     c.op = n.fn;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     c.tensor = sub;
                     c.wlA = cur_wl;
                     c.wlB = loc[tensor_ops[i]].wl;
@@ -319,7 +365,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.kind = CmdKind::Compute;
                     c.group = id;
                     c.op = n.fn;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     c.tensor = sub;
                     c.wlA = cur_wl;
                     c.useImm = true;
@@ -335,7 +381,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.kind = CmdKind::Compute;
                     c.group = id;
                     c.op = n.fn;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     c.tensor = sub;
                     c.wlA = cur_wl;
                     c.wlB = cur_wl;
@@ -351,6 +397,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             syncIfPending();
             const NodeLocation &src = loc[n.operands[0]];
             unsigned dst_wl = allocSlot(id) * bits;
+            if (err)
+                return *err;
             // Scratch register for the shifted operand of each tree
             // round (the accumulator cannot alias its own shift source).
             unsigned tmp_slot = ~0u;
@@ -361,8 +409,12 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     break;
                 }
             }
-            infs_assert(tmp_slot != ~0u,
-                        "no scratch register for reduction (§6)");
+            if (tmp_slot == ~0u) {
+                return Error{ErrCode::OutOfSlots,
+                             "tDFG '" + g.name() +
+                                 "': no scratch wordline register for "
+                                 "reduction (§6)"};
+            }
             unsigned tmp_wl = tmp_slot * bits;
             const HyperRect &src_dom = g.domainOf(n.operands[0]);
             // §4.2: interleaving compute and intra-tile shift commands to
@@ -376,8 +428,10 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                 (src_dom.size(n.dim) + layout.tileSize(n.dim) - 1) /
                 layout.tileSize(n.dim);
             unsigned inter_rounds = ceilLog2(tiles_along);
-            for (const HyperRect &sub :
-                 decomposeTensor(src_dom, layout.tile())) {
+            auto subs = tryDecomposeTensor(src_dom, layout.tile());
+            if (!subs)
+                return subs.error();
+            for (const HyperRect &sub : *subs) {
                 auto banks = banksOf(sub);
                 unsigned cur_wl = src.wl;
                 Coord live = std::min<Coord>(sub.size(n.dim),
@@ -400,7 +454,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     sh.maskHi = live;
                     sh.interTileDist = 0;
                     sh.intraTileDist = -half;
-                    sh.dtype = DType::Fp32;
+                    sh.dtype = elem;
                     sh.wlA = cur_wl;
                     sh.wlDst = tmp_wl;
                     sh.banks = banks;
@@ -409,7 +463,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.kind = CmdKind::Compute;
                     c.group = id * 64 + 2 * r + 1;
                     c.op = n.fn;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     c.tensor = sub;
                     c.dim = n.dim;
                     c.maskLo = 0;
@@ -447,7 +501,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     sh.interTileDist = -half_tiles;
                     live_tiles = half_tiles;
                     sh.intraTileDist = 0;
-                    sh.dtype = DType::Fp32;
+                    sh.dtype = elem;
                     sh.wlA = cur_wl;
                     sh.wlDst = tmp_wl;
                     sh.banks = banks;
@@ -459,7 +513,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.kind = CmdKind::Compute;
                     c.group = id * 64 + 33 + 2 * r;
                     c.op = n.fn;
-                    c.dtype = DType::Fp32;
+                    c.dtype = elem;
                     // One partial lane (position 0) per surviving tile.
                     c.tensor = sub.withDim(
                         n.dim, sub.lo(n.dim),
@@ -494,6 +548,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             break;
           }
         }
+        if (err)
+            return *err;
         freeDeadSlots(id);
     }
     // Final sync so all inter-tile movement commits before the region
@@ -520,18 +576,22 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
     return prog;
 }
 
-std::shared_ptr<const InMemProgram>
-JitCompiler::lower(const TdfgGraph &g, const TiledLayout &layout,
-                   const AddressMap &map, const std::string &memo_key)
+Expected<std::shared_ptr<const InMemProgram>>
+JitCompiler::tryLower(const TdfgGraph &g, const TiledLayout &layout,
+                      const AddressMap &map, const std::string &memo_key)
 {
+    using Result = Expected<std::shared_ptr<const InMemProgram>>;
     if (!memo_key.empty()) {
         auto it = memo_.find(memo_key);
         if (it != memo_.end()) {
             ++stats_.memoHits;
-            return it->second;
+            return Result(it->second);
         }
     }
-    auto prog = std::make_shared<InMemProgram>(doLower(g, layout, map));
+    auto lowered = doLower(g, layout, map);
+    if (!lowered)
+        return lowered.error();
+    auto prog = std::make_shared<InMemProgram>(std::move(*lowered));
     ++stats_.lowerings;
     stats_.totalJitTicks += prog->jitTicks;
     if (!memo_key.empty()) {
@@ -540,7 +600,20 @@ JitCompiler::lower(const TdfgGraph &g, const TiledLayout &layout,
         memoized->jitTicks = 0; // Cached reuse skips lowering.
         memo_.emplace(memo_key, std::move(memoized));
     }
-    return prog;
+    return Result(std::shared_ptr<const InMemProgram>(std::move(prog)));
+}
+
+std::shared_ptr<const InMemProgram>
+JitCompiler::lower(const TdfgGraph &g, const TiledLayout &layout,
+                   const AddressMap &map, const std::string &memo_key)
+{
+    auto res = tryLower(g, layout, map, memo_key);
+    if (!res) {
+        infs_fatal("tDFG '%s': lowering failed with no degradation path: "
+                   "%s",
+                   g.name().c_str(), res.error().str().c_str());
+    }
+    return *res;
 }
 
 OffloadDecision

@@ -17,6 +17,7 @@
 #include "jit/decompose.hh"
 #include "jit/tiling.hh"
 #include "sim/config.hh"
+#include "sim/expected.hh"
 #include "tdfg/graph.hh"
 
 namespace infs {
@@ -53,9 +54,21 @@ class JitCompiler
     explicit JitCompiler(const SystemConfig &cfg) : cfg_(cfg) {}
 
     /**
-     * Lower @p g for layout @p layout. @p memo_key identifies the
-     * (region, parameters) pair for memoization; pass "" to disable.
-     * @returns shared program (possibly from cache).
+     * Lower @p g for layout @p layout, reporting user-triggerable
+     * failures (out of wordline slots, unsupported mv distance, layout
+     * constraint violations) as recoverable diagnostics so the runtime
+     * can degrade the region to near-memory or core execution instead
+     * of aborting. @p memo_key identifies the (region, parameters) pair
+     * for memoization; pass "" to disable.
+     * @returns shared program (possibly from cache) or an Error.
+     */
+    Expected<std::shared_ptr<const InMemProgram>>
+    tryLower(const TdfgGraph &g, const TiledLayout &layout,
+             const AddressMap &map, const std::string &memo_key = "");
+
+    /**
+     * Lower @p g, treating any failure as fatal. Legacy entry point for
+     * callers (tests, benches) with no degradation path.
      */
     std::shared_ptr<const InMemProgram>
     lower(const TdfgGraph &g, const TiledLayout &layout,
@@ -64,16 +77,20 @@ class JitCompiler
     const JitStats &stats() const { return stats_; }
     void resetStats() { stats_ = JitStats{}; }
 
-    /** Number of wordline slots available per array (e.g. 8 for fp32). */
+    /** Number of wordline slots available per array (e.g. 7 for fp32 on
+     * 256-wordline arrays; the top slot is reserved for constants). */
     unsigned
     numSlots() const
     {
-        return cfg_.l3.wordlines / 32 - 1; // Top slot reserved for consts.
+        const unsigned bits = dtypeBits(cfg_.tensor.elemType);
+        const unsigned slots = bits ? cfg_.l3.wordlines / bits : 0;
+        return slots > 1 ? slots - 1 : 0; // Guard the wordlines<bits case.
     }
 
   private:
-    InMemProgram doLower(const TdfgGraph &g, const TiledLayout &layout,
-                         const AddressMap &map);
+    Expected<InMemProgram> doLower(const TdfgGraph &g,
+                                   const TiledLayout &layout,
+                                   const AddressMap &map);
 
     SystemConfig cfg_;
     JitStats stats_;

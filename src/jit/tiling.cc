@@ -41,6 +41,26 @@ TiledLayout::TiledLayout(std::vector<Coord> shape, std::vector<Coord> tile)
     }
 }
 
+Expected<TiledLayout>
+TiledLayout::make(std::vector<Coord> shape, std::vector<Coord> tile)
+{
+    using Result = Expected<TiledLayout>;
+    if (shape.size() != tile.size()) {
+        return Result::failure(
+            ErrCode::LayoutConstraint,
+            "shape rank " + std::to_string(shape.size()) +
+                " != tile rank " + std::to_string(tile.size()));
+    }
+    for (std::size_t d = 0; d < tile.size(); ++d) {
+        if (tile[d] <= 0) {
+            return Result::failure(ErrCode::LayoutConstraint,
+                                   "tile dim " + std::to_string(d) +
+                                       " must be positive");
+        }
+    }
+    return TiledLayout(std::move(shape), std::move(tile));
+}
+
 std::int64_t
 TiledLayout::numTiles() const
 {

@@ -15,6 +15,7 @@
 
 #include "mem/address_map.hh"
 #include "sim/config.hh"
+#include "sim/expected.hh"
 #include "tdfg/graph.hh"
 
 namespace infs {
@@ -38,6 +39,14 @@ class TiledLayout
   public:
     TiledLayout() = default;
     TiledLayout(std::vector<Coord> shape, std::vector<Coord> tile);
+
+    /**
+     * Validating factory: rank mismatch or a non-positive tile dimension
+     * comes back as a LayoutConstraint diagnostic (the constructor
+     * asserts instead). Use this on user-supplied tiles (forceTile).
+     */
+    static Expected<TiledLayout> make(std::vector<Coord> shape,
+                                      std::vector<Coord> tile);
 
     unsigned dims() const { return static_cast<unsigned>(shape_.size()); }
     const std::vector<Coord> &shape() const { return shape_; }

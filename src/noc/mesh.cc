@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace infs {
@@ -106,8 +107,18 @@ MeshNoc::send(BankId src, BankId dst, Bytes bytes, TrafficClass cls)
             chargeLink(link, bytes);
     }
     Tick serialization = (bytes + cfg_.linkBytes - 1) / cfg_.linkBytes;
-    return Tick(h) * (cfg_.routerStages + cfg_.linkLatency) +
-           (serialization > 0 ? serialization - 1 : 0);
+    Tick latency = Tick(h) * (cfg_.routerStages + cfg_.linkLatency) +
+                   (serialization > 0 ? serialization - 1 : 0);
+    if (fault_ && fault_->sampleNocPacketFault()) {
+        // The link CRC catches the dropped/corrupted packet; retransmit,
+        // charging the route a second time.
+        hopBytes_[static_cast<unsigned>(cls)] +=
+            static_cast<double>(bytes) * h;
+        for (unsigned link : scratchRoute_)
+            chargeLink(link, bytes);
+        latency += fault_->recordDetection() + fault_->recordRetry(latency);
+    }
+    return latency;
 }
 
 Tick
@@ -131,14 +142,36 @@ MeshNoc::multicast(BankId src, const std::vector<BankId> &dsts, Bytes bytes,
     for (unsigned link : tree)
         chargeLink(link, bytes);
     Tick serialization = (bytes + cfg_.linkBytes - 1) / cfg_.linkBytes;
-    return Tick(max_hops) * (cfg_.routerStages + cfg_.linkLatency) +
-           (serialization > 0 ? serialization - 1 : 0);
+    Tick latency = Tick(max_hops) * (cfg_.routerStages + cfg_.linkLatency) +
+                   (serialization > 0 ? serialization - 1 : 0);
+    if (fault_ && fault_->sampleNocPacketFault()) {
+        // Retransmit down the whole tree (the routers replay multicasts
+        // from the source on a CRC failure).
+        hopBytes_[static_cast<unsigned>(cls)] +=
+            static_cast<double>(bytes) * tree.size();
+        for (unsigned link : tree)
+            chargeLink(link, bytes);
+        latency += fault_->recordDetection() + fault_->recordRetry(latency);
+    }
+    return latency;
 }
 
 void
 MeshNoc::accountBulk(double bytes, double avg_hops, TrafficClass cls)
 {
     double hop_bytes = bytes * avg_hops;
+    if (fault_) {
+        // Line-sized packets; faulted ones are retransmitted, so the flow
+        // carries that many extra packets' worth of hop-bytes.
+        auto packets = static_cast<std::uint64_t>(
+            (bytes + double(lineBytes) - 1.0) / double(lineBytes));
+        std::uint64_t faulted = fault_->sampleNocBulkFaults(packets);
+        for (std::uint64_t i = 0; i < faulted; ++i) {
+            fault_->recordDetection();
+            fault_->recordRetry();
+        }
+        hop_bytes += double(faulted) * double(lineBytes) * avg_hops;
+    }
     hopBytes_[static_cast<unsigned>(cls)] += hop_bytes;
     // Spread occupancy uniformly over the physical links.
     double per_link = hop_bytes / static_cast<double>(links_.size());

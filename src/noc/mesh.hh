@@ -19,6 +19,8 @@
 
 namespace infs {
 
+class FaultInjector;
+
 /** Traffic categories for the paper's breakdown figures. */
 enum class TrafficClass : std::uint8_t {
     Control,     ///< Coherence control messages.
@@ -99,6 +101,14 @@ class MeshNoc
     /** Zero all traffic accounting. */
     void resetStats();
 
+    /**
+     * Attach a fault injector (nullptr detaches). Injected packet faults
+     * are caught by the link-level CRC and retransmitted: the message's
+     * links are charged again and the latency grows by the detection and
+     * retry penalty, so faulty runs stay functionally correct but slower.
+     */
+    void attachFaultInjector(FaultInjector *f) { fault_ = f; }
+
     const NocConfig &config() const { return cfg_; }
 
   private:
@@ -111,6 +121,7 @@ class MeshNoc
     void chargeLink(unsigned link, Bytes bytes);
 
     NocConfig cfg_;
+    FaultInjector *fault_ = nullptr;
     std::array<double, numTrafficClasses> hopBytes_{};
     // Busy byte-count per directed link (bytes / linkBytes = busy cycles).
     std::vector<double> links_;

@@ -107,9 +107,33 @@ struct StreamConfig {
     unsigned sel3LanesFp32 = 16;
 };
 
+/**
+ * Fault-injection parameters. Rates are per-event probabilities; with
+ * `enabled == false` (the default) every fault hook is skipped entirely
+ * and simulation results are bit-identical to a fault-free build.
+ */
+struct FaultConfig {
+    bool enabled = false;          ///< Master switch for all injection.
+    std::uint64_t seed = 0x1f5eedULL; ///< Deterministic schedule seed.
+
+    /** Probability a compute command suffers an SRAM wordline bit flip. */
+    double sramBitFlipRate = 0.0;
+    /** Probability a NoC packet is dropped or corrupted in flight. */
+    double nocFaultRate = 0.0;
+    /** Probability an in-memory command fails transiently at issue. */
+    double cmdTransientRate = 0.0;
+    /** Fraction of command faults that persist across retries. */
+    double persistentFraction = 0.0;
+
+    unsigned retryBudget = 3;      ///< Bounded retries before degrading.
+    Tick detectCycles = 4;         ///< Parity/ECC check latency per fault.
+    Tick retryPenaltyCycles = 8;   ///< Re-issue overhead per retry.
+};
+
 /** Tensor controller / JIT runtime parameters. */
 struct TensorConfig {
     unsigned lotEntries = 16;          ///< Layout override table regions.
+    DType elemType = DType::Fp32;      ///< In-memory element type.
     Bytes commandCacheBytes = 2048;    ///< TCcore command cache.
     std::uint64_t releaseRequestThreshold = 100000;
     Tick releaseTimerTicks = 100000;
@@ -133,6 +157,7 @@ struct SystemConfig {
     DramConfig dram;
     StreamConfig stream;
     TensorConfig tensor;
+    FaultConfig fault;
 
     unsigned numCores() const { return noc.meshX * noc.meshY; }
 

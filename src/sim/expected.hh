@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Recoverable error reporting: a lightweight StatusOr-style Expected<T>.
+ * The Inf-S runtime must keep serving when a region cannot be lowered or
+ * a modeled hardware fault persists — such user-triggerable conditions
+ * return an Error diagnostic instead of aborting the whole simulation
+ * (infs_fatal remains for genuinely unrecoverable configuration errors,
+ * infs_panic for simulator bugs).
+ */
+
+#ifndef INFS_SIM_EXPECTED_HH
+#define INFS_SIM_EXPECTED_HH
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "sim/logging.hh"
+
+namespace infs {
+
+/** Machine-readable classification of recoverable runtime errors. */
+enum class ErrCode : std::uint8_t {
+    Ok,               ///< No error (never stored in an Error).
+    OutOfSlots,       ///< Tensor set exceeds the wordline slots (§6).
+    UnsupportedMove,  ///< mv distance the shift compiler cannot honor.
+    LayoutConstraint, ///< Shape/tile violates a layout constraint (§4.1).
+    CommandFailed,    ///< In-memory command faulted past the retry budget.
+    InvalidArgument,  ///< Malformed user input (rank mismatch, zero dim).
+};
+
+/** Human-readable error-code name. */
+const char *errCodeName(ErrCode c);
+
+/** One recoverable diagnostic: code + human-readable message. */
+struct Error {
+    ErrCode code = ErrCode::Ok;
+    std::string message;
+
+    /** "code: message" rendering for logs and tests. */
+    std::string
+    str() const
+    {
+        return std::string(errCodeName(code)) + ": " + message;
+    }
+};
+
+/**
+ * Either a value or an Error. Deliberately minimal: enough for the
+ * runtime's recoverable paths without pulling in std::expected (C++23).
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : state_(std::move(value)) {}
+    Expected(Error err) : state_(std::move(err)) {}
+
+    static Expected
+    failure(ErrCode code, std::string message)
+    {
+        return Expected(Error{code, std::move(message)});
+    }
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The contained value; panics when holding an error. */
+    T &
+    value()
+    {
+        infs_assert(ok(), "Expected::value() on error: %s",
+                    std::get<Error>(state_).str().c_str());
+        return std::get<T>(state_);
+    }
+
+    const T &
+    value() const
+    {
+        infs_assert(ok(), "Expected::value() on error: %s",
+                    std::get<Error>(state_).str().c_str());
+        return std::get<T>(state_);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** The contained error; panics when holding a value. */
+    const Error &
+    error() const
+    {
+        infs_assert(!ok(), "Expected::error() on value");
+        return std::get<Error>(state_);
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+} // namespace infs
+
+#endif // INFS_SIM_EXPECTED_HH

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/fault.hh"
 #include "tdfg/interp.hh"
 
 namespace infs {
@@ -197,11 +198,42 @@ BitAccurateFabric::execBroadcast(const InMemCommand &cmd)
 }
 
 void
+BitAccurateFabric::injectAndRepair(const InMemCommand &cmd)
+{
+    auto touched = layout_.tilesIntersecting(cmd.tensor);
+    if (touched.empty())
+        return;
+    const unsigned bits = dtypeBits(cmd.dtype);
+    // Pick the upset site from the SRAM stream: tile, wordline within the
+    // destination slot, bitline.
+    std::int64_t t =
+        touched[fault_->draw(FaultDomain::Sram, touched.size())];
+    unsigned wl = cmd.wlDst + static_cast<unsigned>(
+                                  fault_->draw(FaultDomain::Sram, bits));
+    unsigned bl = static_cast<unsigned>(
+        fault_->draw(FaultDomain::Sram, bitlines_));
+    ComputeSram &s = tile(t);
+    const bool parity_before = s.rowParity(wl);
+    const std::uint64_t good = s.readElement(bl, cmd.wlDst, cmd.dtype);
+    s.flipBit(wl, bl);
+    // Row parity flips on any single-bit upset — detection is certain.
+    infs_assert(s.rowParity(wl) != parity_before,
+                "single-bit flip must flip row parity");
+    fault_->recordDetection();
+    // Repair: rewrite the corrupted element (ECC correction / re-read of
+    // the known-good operand) and charge one retry.
+    s.writeElement(bl, cmd.wlDst, cmd.dtype, good);
+    fault_->recordRetry();
+}
+
+void
 BitAccurateFabric::executeCommand(const InMemCommand &cmd)
 {
     switch (cmd.kind) {
       case CmdKind::Compute:
         execCompute(cmd);
+        if (fault_ && fault_->sampleSramFlip())
+            injectAndRepair(cmd);
         break;
       case CmdKind::IntraShift:
         execIntraShift(cmd);

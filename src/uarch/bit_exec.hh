@@ -21,6 +21,8 @@
 
 namespace infs {
 
+class FaultInjector;
+
 /** One compute SRAM per tile of a tiled layout, plus command execution. */
 class BitAccurateFabric
 {
@@ -55,7 +57,19 @@ class BitAccurateFabric
     /** Direct access for tests. */
     ComputeSram &tile(std::int64_t t);
 
+    /**
+     * Attach a fault injector (nullptr detaches). Compute commands then
+     * sample SRAM wordline bit flips: the flip lands in the command's
+     * destination slot, row parity detects it, and the repair path
+     * restores the corrupted element — so execution stays functionally
+     * correct under injected faults (asserted against the tDFG
+     * interpreter in tests).
+     */
+    void attachFaultInjector(FaultInjector *f) { fault_ = f; }
+
   private:
+    /** Inject one bit flip into @p cmd's destination, detect, repair. */
+    void injectAndRepair(const InMemCommand &cmd);
     /** Bitline index delta for a unit step along @p dim inside a tile. */
     std::int64_t strideInTile(unsigned dim) const;
 
@@ -71,6 +85,7 @@ class BitAccurateFabric
     TiledLayout layout_;
     unsigned wordlines_;
     unsigned bitlines_;
+    FaultInjector *fault_ = nullptr;
     // Lazily allocated tiles (large layouts touch few in tests).
     mutable std::vector<std::unique_ptr<ComputeSram>> tiles_;
 };

@@ -5,11 +5,14 @@
 namespace infs {
 
 InfinitySystem::InfinitySystem(SystemConfig cfg)
-    : cfg_(cfg), noc_(cfg.noc), l3_(cfg.l3), dram_(cfg.dram, cfg.core.ghz),
-      map_(cfg.l3, cfg.noc.memCtrls), lot_(cfg.tensor.lotEntries),
-      jit_(cfg), near_(cfg_, noc_, l3_, dram_, map_, energy_),
-      tc_(cfg_, noc_, map_, energy_), ttu_(2)
+    : cfg_(cfg), fault_(cfg.fault), noc_(cfg.noc), l3_(cfg.l3),
+      dram_(cfg.dram, cfg.core.ghz), map_(cfg.l3, cfg.noc.memCtrls),
+      lot_(cfg.tensor.lotEntries), jit_(cfg),
+      near_(cfg_, noc_, l3_, dram_, map_, energy_),
+      tc_(cfg_, noc_, map_, energy_, &fault_), ttu_(2)
 {
+    if (fault_.enabled())
+        noc_.attachFaultInjector(&fault_);
 }
 
 PrepareResult
@@ -75,6 +78,9 @@ InfinitySystem::resetStats()
     dram_.resetStats();
     energy_.reset();
     jit_.resetStats();
+    // Zero the fault counters AND restart the schedule from the config
+    // seed, so every Executor::run() sees the identical fault sequence.
+    fault_.reset();
 }
 
 } // namespace infs

@@ -19,6 +19,7 @@
 #include "mem/l3_model.hh"
 #include "noc/mesh.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "stream/near_engine.hh"
 #include "uarch/tensor_controller.hh"
 
@@ -48,6 +49,8 @@ class InfinitySystem
     NearStreamEngine &nearEngine() { return near_; }
     TensorController &tensorController() { return tc_; }
     const TensorTransposeUnit &ttu() const { return ttu_; }
+    FaultInjector &faultInjector() { return fault_; }
+    const FaultInjector &faultInjector() const { return fault_; }
 
     /**
      * Prepare @p bytes of array data in the transposed layout: reserve
@@ -69,6 +72,8 @@ class InfinitySystem
 
   private:
     SystemConfig cfg_;
+    // The injector precedes every component that holds a pointer to it.
+    FaultInjector fault_;
     MeshNoc noc_;
     L3Model l3_;
     DramModel dram_;

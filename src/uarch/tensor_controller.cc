@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
+
 namespace infs {
 
 std::uint64_t
@@ -39,7 +41,7 @@ TensorController::execute(const InMemProgram &prog,
     if (repeat == 0)
         return res;
     const double rep = static_cast<double>(repeat);
-    const unsigned bits = 32; // fp32 (Table 3 workloads).
+    const unsigned bits = dtypeBits(cfg_.tensor.elemType);
     const unsigned elem_bytes = bits / 8;
     const unsigned banks = cfg_.l3.numBanks;
     // Per-bank issue model: commands of the same group (one node's tile
@@ -71,12 +73,50 @@ TensorController::execute(const InMemProgram &prog,
         return m;
     };
 
+    // Fault model: each command issue may fail transiently (controller
+    // parity catches it; bounded retry). Penalty cycles accumulate once
+    // per execute() call — fault sampling does not scale with `repeat` so
+    // the schedule stays a function of the command sequence alone.
+    Tick fault_extra = 0;
     for (const InMemCommand &cmd : prog.commands) {
+        if (fault_ && cmd.kind != CmdKind::Sync) {
+            CmdFault cf = fault_->sampleCmdFault();
+            if (cf.faulted) {
+                ++res.faultsInjected;
+                ++res.faultsDetected;
+                fault_extra += fault_->recordDetection();
+                bool cleared = false;
+                for (unsigned r = 0; r < cfg_.fault.retryBudget; ++r) {
+                    ++res.faultRetries;
+                    fault_extra += fault_->recordRetry();
+                    if (!cf.persistent) {
+                        cleared = true;
+                        break;
+                    }
+                }
+                if (!cleared) {
+                    // Hard fault: abandon the in-memory attempt; the
+                    // caller degrades the region (near-memory / core).
+                    fault_->recordExhausted();
+                    res.failed = true;
+                    break;
+                }
+            }
+        }
         switch (cmd.kind) {
           case CmdKind::Compute: {
             Tick cyc = lat_.opCycles(cmd.op, cmd.dtype);
             if (cmd.useImm)
                 cyc += bits; // Broadcast the constant first (§5.2).
+            if (fault_ && fault_->sampleSramFlip()) {
+                // A wordline bit flipped during the bit-serial op; row
+                // parity catches it and the op re-executes.
+                ++res.faultsInjected;
+                ++res.faultsDetected;
+                fault_extra += fault_->recordDetection();
+                ++res.faultRetries;
+                fault_extra += fault_->recordRetry(cyc);
+            }
             bumpBanks(cmd.banks, cyc, cmd.group);
             res.computeCycles += cyc;
             std::uint64_t elems = maskedElements(cmd, layout);
@@ -221,12 +261,14 @@ TensorController::execute(const InMemProgram &prog,
         }
     }
 
-    // Per-command ops and per-repeat cycle components scale linearly.
+    // Per-command ops and per-repeat cycle components scale linearly;
+    // fault penalties were accumulated once per execute() call.
     res.inMemOps *= repeat;
     res.computeCycles *= repeat;
     res.moveCycles *= repeat;
     res.syncCycles *= repeat;
-    res.cycles = maxBusy() * repeat;
+    res.retryCycles = fault_extra;
+    res.cycles = maxBusy() * repeat + fault_extra;
     return res;
 }
 

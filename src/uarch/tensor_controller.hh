@@ -19,6 +19,8 @@
 
 namespace infs {
 
+class FaultInjector;
+
 /** Aggregate result of executing one in-memory program. */
 struct InMemExecResult {
     Tick cycles = 0;           ///< Region makespan.
@@ -29,6 +31,13 @@ struct InMemExecResult {
     double intraTileBytes = 0.0;       ///< Moved within SRAM arrays.
     double interTileBytes = 0.0;       ///< Moved across tiles (H tree).
     double interTileNocBytes = 0.0;    ///< Of which crossed the NoC.
+    std::uint64_t faultsInjected = 0;  ///< Faults hit during this region.
+    std::uint64_t faultsDetected = 0;  ///< Caught by parity/ECC.
+    std::uint64_t faultRetries = 0;    ///< Bounded re-issues performed.
+    Tick retryCycles = 0;              ///< Detect + re-issue time added.
+    /** A fault persisted past the retry budget: the region's in-memory
+     * attempt was abandoned and the caller must degrade it. */
+    bool failed = false;
 };
 
 /** Executes in-memory command programs against the system model. */
@@ -36,8 +45,9 @@ class TensorController
 {
   public:
     TensorController(const SystemConfig &cfg, MeshNoc &noc,
-                     const AddressMap &map, EnergyAccount &energy)
-        : cfg_(cfg), noc_(noc), map_(map), energy_(energy)
+                     const AddressMap &map, EnergyAccount &energy,
+                     FaultInjector *fault = nullptr)
+        : cfg_(cfg), noc_(noc), map_(map), energy_(energy), fault_(fault)
     {
     }
 
@@ -62,6 +72,7 @@ class TensorController
     MeshNoc &noc_;
     const AddressMap &map_;
     EnergyAccount &energy_;
+    FaultInjector *fault_ = nullptr;
     LatencyTable lat_;
 };
 

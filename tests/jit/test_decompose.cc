@@ -139,6 +139,16 @@ TEST(Decompose, EmptyTensorYieldsNothing)
     EXPECT_TRUE(decomposeTensor(HyperRect::interval(5, 5), {8}).empty());
 }
 
+TEST(Decompose, TryDecomposeReportsRankMismatch)
+{
+    auto res = tryDecomposeTensor(HyperRect::interval(0, 8), {2, 2});
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, ErrCode::LayoutConstraint);
+    auto bad_tile = tryDecomposeTensor(HyperRect::interval(0, 8), {0});
+    ASSERT_FALSE(bad_tile.ok());
+    EXPECT_EQ(bad_tile.error().code, ErrCode::LayoutConstraint);
+}
+
 TEST(Decompose, 3DStencilBoundary)
 {
     // stencil3d-like shape, unaligned in two dims.

@@ -234,6 +234,68 @@ TEST_F(JitLowerTest, RegisterPressurePanicsWithoutSpilling)
     EXPECT_DEATH((void)jit.lower(g, lay, map), "wordline");
 }
 
+TEST_F(JitLowerTest, TryLowerReportsOutOfSlotsAsDiagnostic)
+{
+    // Same register pressure as above, but through the recoverable entry
+    // point: no death, a typed error the executor can degrade on.
+    TdfgGraph g(1, "pressure");
+    std::vector<NodeId> live;
+    NodeId a = g.tensor(0, HyperRect::interval(0, 1024));
+    for (int i = 0; i < 12; ++i)
+        live.push_back(g.move(a, 0, i + 1));
+    NodeId acc = live[0];
+    for (std::size_t i = 1; i < live.size(); ++i)
+        acc = g.compute(BitOp::Add, {acc, live[i]});
+    g.output(acc, 1);
+    TiledLayout lay({1024}, {256});
+    auto res = jit.tryLower(g, lay, map);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, ErrCode::OutOfSlots);
+    EXPECT_NE(res.error().message.find("wordline"), std::string::npos);
+    EXPECT_EQ(jit.stats().lowerings, 0u); // Failures are not counted.
+}
+
+TEST_F(JitLowerTest, TryLowerRejectsOversizedMoveDistance)
+{
+    // A move spanning the whole array extent cannot be expressed as
+    // intra-/inter-tile shifts within the bounding rect.
+    TdfgGraph g(1, "far_move");
+    NodeId a = g.tensor(0, HyperRect::interval(0, 1024));
+    g.output(g.move(a, 0, 1024), 1);
+    TiledLayout lay({1024}, {256});
+    auto res = jit.tryLower(g, lay, map);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, ErrCode::UnsupportedMove);
+}
+
+TEST_F(JitLowerTest, TryLowerRejectsMoveAlongMissingDim)
+{
+    TdfgGraph g(2, "bad_dim");
+    NodeId a = g.tensor(0, HyperRect::box2(0, 64, 0, 4));
+    g.output(g.move(a, 1, 1), 1);
+    TiledLayout lay({1024}, {256}); // Rank-1 layout: dim 1 is missing.
+    auto res = jit.tryLower(g, lay, map);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, ErrCode::UnsupportedMove);
+}
+
+TEST(JitNumSlots, TracksElementTypeAndGuardsUnderflow)
+{
+    SystemConfig cfg = testSystemConfig(); // 256 wordlines.
+    EXPECT_EQ(JitCompiler(cfg).numSlots(), 7u); // 256/32 - 1 (scratch).
+    cfg.tensor.elemType = DType::Int64;
+    EXPECT_EQ(JitCompiler(cfg).numSlots(), 3u);
+    cfg.tensor.elemType = DType::Int8;
+    EXPECT_EQ(JitCompiler(cfg).numSlots(), 31u);
+    // Fewer wordlines than element bits: zero slots, no underflow wrap.
+    cfg.tensor.elemType = DType::Fp32;
+    cfg.l3.wordlines = 16;
+    EXPECT_EQ(JitCompiler(cfg).numSlots(), 0u);
+    // A single slot is all scratch: still unusable.
+    cfg.l3.wordlines = 32;
+    EXPECT_EQ(JitCompiler(cfg).numSlots(), 0u);
+}
+
 TEST(OffloadDecision, LargeTensorsGoInMemory)
 {
     SystemConfig cfg = defaultSystemConfig();

@@ -176,6 +176,19 @@ TEST(TiledLayout, BanksForContiguousMapping)
     EXPECT_EQ(one.size(), 1u);
 }
 
+TEST(TiledLayout, MakeReportsLayoutConstraintViolations)
+{
+    auto bad_rank = TiledLayout::make({128, 128}, {16});
+    ASSERT_FALSE(bad_rank.ok());
+    EXPECT_EQ(bad_rank.error().code, ErrCode::LayoutConstraint);
+    auto bad_tile = TiledLayout::make({128}, {0});
+    ASSERT_FALSE(bad_tile.ok());
+    EXPECT_EQ(bad_tile.error().code, ErrCode::LayoutConstraint);
+    auto good = TiledLayout::make({128}, {16});
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good->numTiles(), 8);
+}
+
 TEST(TiledLayout, FitsChecksCapacity)
 {
     AddressMap map(L3Config{});
