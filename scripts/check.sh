@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite —
-# once plain and once under ASan+UBSan (INFS_SANITIZE=ON).
+# once plain and once under ASan+UBSan (INFS_SANITIZE=ON). The lint
+# suite adds clang-tidy (when installed) and the infs-verify static
+# analyzer over every seed workload.
 #
-# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+# Usage: scripts/check.sh [--plain-only|--sanitize-only|--lint-only|--lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +18,27 @@ run_suite() {
     cmake --build "$dir" -j "$jobs"
     ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
+
+run_lint() {
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    cmake --build build -j "$jobs" --target infs-verify
+    if command -v clang-tidy > /dev/null 2>&1; then
+        echo "-- clang-tidy over src/"
+        find src -name '*.cc' -print0 |
+            xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+    else
+        echo "-- clang-tidy not installed; skipping"
+    fi
+    echo "-- infs-verify over all seed workloads (level=full)"
+    build/tools/infs-verify --all --level=full
+}
+
+if [[ $mode == --lint || $mode == --lint-only ]]; then
+    echo "== lint =="
+    run_lint
+    [[ $mode == --lint-only ]] && { echo "check.sh: lint passed"; exit 0; }
+    mode=all
+fi
 
 if [[ $mode != --sanitize-only ]]; then
     echo "== plain build =="

@@ -1,0 +1,306 @@
+#include "analysis/verify_tdfg.hh"
+
+#include <string>
+#include <vector>
+
+namespace infs {
+
+namespace {
+
+/** "node 3 (mv3)" locator for diagnostics. */
+std::string
+nodeWhere(const TdfgGraph &g, NodeId id)
+{
+    return "node " + std::to_string(id) + " (" + g.node(id).name + ")";
+}
+
+/** Operand-count legality per kind; max == unsatisfiable means "any". */
+void
+expectedOperands(TdfgKind k, StreamRole role, std::size_t &min,
+                 std::size_t &max)
+{
+    switch (k) {
+      case TdfgKind::Tensor:
+      case TdfgKind::ConstVal:
+        min = max = 0;
+        break;
+      case TdfgKind::Compute:
+        min = 1;
+        max = ~std::size_t(0);
+        break;
+      case TdfgKind::Move:
+      case TdfgKind::Broadcast:
+      case TdfgKind::Shrink:
+      case TdfgKind::Reduce:
+        min = max = 1;
+        break;
+      case TdfgKind::Stream:
+        min = max = role == StreamRole::Load ? 0 : 1;
+        break;
+    }
+}
+
+bool
+isAssociative(BitOp fn)
+{
+    return fn == BitOp::Add || fn == BitOp::Mul || fn == BitOp::Max ||
+           fn == BitOp::Min;
+}
+
+} // namespace
+
+VerifyReport
+verifyTdfg(const TdfgGraph &g)
+{
+    VerifyReport rep("tdfg '" + g.name() + "'");
+    const unsigned dims = g.dims();
+    const NodeId n_nodes = static_cast<NodeId>(g.size());
+
+    // A node participates in semantic checks only when it and all its
+    // operands are structurally sound; otherwise recomputing its domain
+    // would chase dangling ids.
+    std::vector<bool> sound(n_nodes, true);
+
+    for (NodeId id = 0; id < n_nodes; ++id) {
+        const TdfgNode &n = g.node(id);
+        const std::string where = nodeWhere(g, id);
+
+        // ---- Structural: operand range and topological (SSA) order.
+        for (NodeId op : n.operands) {
+            if (op >= n_nodes) {
+                rep.add(VerifyCode::OperandOutOfRange, where,
+                        "operand " + std::to_string(op) +
+                            " beyond node table of " +
+                            std::to_string(n_nodes));
+                sound[id] = false;
+            } else if (op >= id) {
+                // Operands must strictly precede their user: a forward or
+                // self reference breaks the topological order that keeps
+                // the SSA graph acyclic.
+                rep.add(VerifyCode::OperandOrder, where,
+                        "operand " + std::to_string(op) +
+                            " not defined before its use (cycle)");
+                sound[id] = false;
+            } else if (!sound[op]) {
+                sound[id] = false;
+            }
+        }
+
+        std::size_t min_ops = 0, max_ops = 0;
+        expectedOperands(n.kind, n.streamRole, min_ops, max_ops);
+        if (n.operands.size() < min_ops || n.operands.size() > max_ops) {
+            rep.add(VerifyCode::OperandCount, where,
+                    std::string(tdfgKindName(n.kind)) + " with " +
+                        std::to_string(n.operands.size()) + " operands");
+            sound[id] = false;
+        }
+
+        // ---- Domain/rank consistency.
+        if (n.infiniteDomain != (n.kind == TdfgKind::ConstVal)) {
+            rep.add(VerifyCode::InfiniteMismatch, where,
+                    n.infiniteDomain
+                        ? "only const nodes cover the infinite lattice"
+                        : "const node without an infinite domain");
+            sound[id] = false;
+            continue;
+        }
+        if (!n.infiniteDomain && n.domain.dims() != dims) {
+            rep.add(VerifyCode::RankMismatch, where,
+                    "domain rank " + std::to_string(n.domain.dims()) +
+                        " != lattice rank " + std::to_string(dims));
+            sound[id] = false;
+            continue;
+        }
+
+        // ---- dim parameter range (independent of operand soundness).
+        switch (n.kind) {
+          case TdfgKind::Move:
+          case TdfgKind::Broadcast:
+          case TdfgKind::Shrink:
+          case TdfgKind::Reduce:
+            if (n.dim >= dims) {
+                rep.add(VerifyCode::DimOutOfRank, where,
+                        "dim " + std::to_string(n.dim) +
+                            " out of lattice rank " + std::to_string(dims));
+                sound[id] = false;
+            }
+            break;
+          default:
+            break;
+        }
+        if (!sound[id])
+            continue;
+
+        // ---- Per-kind semantics: recompute the domain the builders would
+        // have inferred and compare (Fig 5 / appendix Eq. 5).
+        auto operandDomain = [&](NodeId op) -> const HyperRect * {
+            const TdfgNode &o = g.node(op);
+            if (o.infiniteDomain) {
+                rep.add(VerifyCode::OperandCount, where,
+                        std::string(tdfgKindName(n.kind)) +
+                            " of an infinite (const) operand");
+                return nullptr;
+            }
+            if (o.domain.dims() != dims)
+                return nullptr; // Already diagnosed at the operand.
+            return &o.domain;
+        };
+
+        switch (n.kind) {
+          case TdfgKind::Tensor:
+            if (n.array == invalidArray)
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "tensor without a source array");
+            break;
+          case TdfgKind::ConstVal:
+            break;
+          case TdfgKind::Compute: {
+            HyperRect acc;
+            bool have = false, skip = false;
+            for (NodeId op : n.operands) {
+                const TdfgNode &o = g.node(op);
+                if (o.infiniteDomain)
+                    continue;
+                if (o.domain.dims() != dims) {
+                    skip = true;
+                    break;
+                }
+                acc = have ? acc.intersect(o.domain) : o.domain;
+                have = true;
+            }
+            if (skip)
+                break;
+            if (!have) {
+                rep.add(VerifyCode::EmptyComputeDomain, where,
+                        "compute with only constant operands has no "
+                        "finite domain");
+                break;
+            }
+            if (acc.empty()) {
+                rep.add(VerifyCode::EmptyComputeDomain, where,
+                        "operand intersection " + acc.str() +
+                            " is empty — operands misaligned");
+                break;
+            }
+            if (!(n.domain == acc)) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "domain " + n.domain.str() +
+                            " != operand intersection " + acc.str());
+            }
+            break;
+          }
+          case TdfgKind::Move: {
+            const HyperRect *src = operandDomain(n.operands[0]);
+            if (!src)
+                break;
+            HyperRect want = src->shifted(n.dim, n.dist);
+            if (!(n.domain == want)) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "domain " + n.domain.str() + " != source " +
+                            src->str() + " shifted by " +
+                            std::to_string(n.dist));
+            }
+            break;
+          }
+          case TdfgKind::Broadcast: {
+            const HyperRect *src = operandDomain(n.operands[0]);
+            if (!src)
+                break;
+            if (n.count < 1) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "broadcast count " + std::to_string(n.count) +
+                            " < 1");
+                break;
+            }
+            Coord span = src->size(n.dim);
+            HyperRect want =
+                src->withDim(n.dim, src->lo(n.dim) + n.dist,
+                             src->lo(n.dim) + n.dist + n.count * span);
+            if (!(n.domain == want)) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "domain " + n.domain.str() +
+                            " != broadcast image " + want.str());
+            }
+            break;
+          }
+          case TdfgKind::Shrink: {
+            const HyperRect *src = operandDomain(n.operands[0]);
+            if (!src)
+                break;
+            const Coord p = n.domain.lo(n.dim), q = n.domain.hi(n.dim);
+            if (p > q || p < src->lo(n.dim) || q > src->hi(n.dim)) {
+                rep.add(VerifyCode::BadShrinkRange, where,
+                        "shrink [" + std::to_string(p) + "," +
+                            std::to_string(q) + ") escapes source " +
+                            src->str());
+                break;
+            }
+            if (!(n.domain == src->withDim(n.dim, p, q))) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "shrink changes dimensions other than dim " +
+                            std::to_string(n.dim));
+            }
+            break;
+          }
+          case TdfgKind::Reduce: {
+            if (!isAssociative(n.fn)) {
+                rep.add(VerifyCode::BadReduceOp, where,
+                        std::string("reduce with non-associative ") +
+                            bitOpName(n.fn));
+            }
+            const HyperRect *src = operandDomain(n.operands[0]);
+            if (!src)
+                break;
+            HyperRect want = src->withDim(n.dim, src->lo(n.dim),
+                                          src->lo(n.dim) + 1);
+            if (!(n.domain == want)) {
+                rep.add(VerifyCode::DomainMismatch, where,
+                        "domain " + n.domain.str() +
+                            " != collapsed source " + want.str());
+            }
+            break;
+          }
+          case TdfgKind::Stream: {
+            if (!n.pattern.valid()) {
+                rep.add(VerifyCode::BadStreamPattern, where,
+                        "invalid access pattern");
+                break;
+            }
+            if (n.streamRole == StreamRole::Reduce) {
+                HyperRect want =
+                    HyperRect::array(std::vector<Coord>(dims, 1));
+                if (!(n.domain == want)) {
+                    rep.add(VerifyCode::BadStreamPattern, where,
+                            "reduce stream must produce a scalar cell, "
+                            "got " + n.domain.str());
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    for (const TdfgGraph::Output &o : g.outputs()) {
+        if (o.node >= n_nodes) {
+            rep.add(VerifyCode::BadOutput, "output",
+                    "references missing node " + std::to_string(o.node));
+            continue;
+        }
+        if (g.node(o.node).infiniteDomain) {
+            rep.add(VerifyCode::BadOutput, nodeWhere(g, o.node),
+                    "output references an infinite tensor");
+        }
+    }
+    return rep;
+}
+
+Expected<bool>
+checkTdfg(const TdfgGraph &g)
+{
+    VerifyReport rep = verifyTdfg(g);
+    if (!rep.clean())
+        return rep.toError();
+    return true;
+}
+
+} // namespace infs

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Level-1 static analysis: the tDFG verifier. Checks the structural
+ * invariants the builder DSL normally guarantees (operand ids in range,
+ * topological operand order — which makes the SSA graph acyclic with a
+ * single definition per value) and the per-kind semantic invariants of
+ * Fig 5 (domain inference, dim within rank, non-empty Compute
+ * intersections, Shrink/Reduce legality, Stream pattern coherence), so an
+ * illegal e-graph rewrite or a corrupted deserialized graph is caught at
+ * the rewrite, not at interp time (DESIGN.md §9).
+ */
+
+#ifndef INFS_ANALYSIS_VERIFY_TDFG_HH
+#define INFS_ANALYSIS_VERIFY_TDFG_HH
+
+#include "analysis/diag.hh"
+#include "tdfg/graph.hh"
+
+namespace infs {
+
+/** Run every tDFG invariant check over @p g; never aborts. */
+VerifyReport verifyTdfg(const TdfgGraph &g);
+
+/**
+ * Convenience for degradation paths: true when @p g verifies clean, else
+ * the report collapsed into a recoverable VerifyFailed Error.
+ */
+Expected<bool> checkTdfg(const TdfgGraph &g);
+
+} // namespace infs
+
+#endif // INFS_ANALYSIS_VERIFY_TDFG_HH

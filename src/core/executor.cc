@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/verify_tdfg.hh"
 #include "tdfg/interp.hh"
 
 namespace infs {
@@ -336,6 +337,17 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
         }
 
         TdfgGraph g0 = p.buildTdfg(0);
+
+        // Pre-offload verification (DESIGN.md §9): a graph that fails its
+        // invariants never reaches the offload decision or the JIT.
+        if (cfg.verifyLevel != VerifyLevel::Off) {
+            if (auto ok = checkTdfg(g0); !ok) {
+                degradeRegion(p, st, 0, p.iterations, ok.error());
+                st.phaseCycles.emplace_back(p.name,
+                                            st.cycles - phase_start);
+                continue;
+            }
+        }
 
         // Phases whose lattice rank differs from the workload layout get
         // their own layout (or fall back when none is valid).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 
 namespace infs {
 
@@ -137,6 +138,19 @@ EGraph::add(ENode n)
     parent_.push_back(id);
     hashcons_.emplace(std::move(c), id);
     return id;
+}
+
+Expected<bool>
+EGraph::tryMerge(EClassId a, EClassId b)
+{
+    if (!validId(a) || !validId(b)) {
+        return Error{ErrCode::InvalidArgument,
+                     "egraph merge(" + std::to_string(a) + ", " +
+                         std::to_string(b) + ") beyond the " +
+                         std::to_string(parent_.size()) +
+                         " allocated classes"};
+    }
+    return merge(a, b);
 }
 
 bool

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/expected.hh"
 #include "tdfg/graph.hh"
 
 namespace infs {
@@ -77,11 +78,21 @@ class EGraph
     /** Canonical representative of a class. */
     EClassId find(EClassId id) const;
 
+    /** True when @p id names an allocated class (canonical or not). */
+    bool validId(EClassId id) const { return id < parent_.size(); }
+
     /**
      * Union two classes. Rejected (returns false) when their domains
      * differ — equivalence in the tDFG requires equal domains.
      */
     bool merge(EClassId a, EClassId b);
+
+    /**
+     * merge() for untrusted callers: a malformed id becomes a
+     * recoverable InvalidArgument diagnostic instead of an abort. The
+     * value carries merge()'s domain-compatibility verdict.
+     */
+    Expected<bool> tryMerge(EClassId a, EClassId b);
 
     /** Restore congruence closure after a batch of merges. */
     void rebuild();
@@ -146,6 +157,9 @@ class TdfgOptimizer
         bool enableExpansion = true;  ///< Tensor expansion (Eq. 5).
         bool enableExchange = true;   ///< Compute/move/bc exchange (Eq. 4).
         bool enableAlgebra = true;    ///< Assoc/comm/distrib (Eq. 3).
+        /** Re-run the tDFG verifier on every extracted graph, so a bad
+         * rewrite surfaces as a diagnostic at the rewrite (DESIGN.md §9). */
+        bool verifyExtraction = true;
     };
 
     TdfgOptimizer() = default;
@@ -153,8 +167,16 @@ class TdfgOptimizer
 
     /**
      * Optimize @p g: ingest into an e-graph, saturate, extract the
-     * cheapest equivalent graph. Outputs are preserved.
+     * cheapest equivalent graph. Outputs are preserved. Extraction
+     * failures (cyclic or incomplete selections, an extracted graph that
+     * fails verification) are recoverable diagnostics: callers keep the
+     * unoptimized graph and move on.
      */
+    Expected<ExtractionResult>
+    tryOptimize(const TdfgGraph &g,
+                const ExtractionCost &cost = ExtractionCost{});
+
+    /** tryOptimize() for callers with no fallback; failures are fatal. */
     ExtractionResult optimize(const TdfgGraph &g,
                               const ExtractionCost &cost = ExtractionCost{});
 
@@ -175,10 +197,10 @@ class TdfgOptimizer
     unsigned ruleMoveFusion(EGraph &eg);
     unsigned ruleDistributive(EGraph &eg);
 
-    ExtractionResult extract(const EGraph &eg,
-                             const std::vector<EClassId> &roots,
-                             const ExtractionCost &cost,
-                             const TdfgGraph &original) const;
+    Expected<ExtractionResult> extract(const EGraph &eg,
+                                       const std::vector<EClassId> &roots,
+                                       const ExtractionCost &cost,
+                                       const TdfgGraph &original) const;
 
     Options opts_{};
     unsigned rewrites_ = 0;

@@ -8,8 +8,11 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
+#include "analysis/verify_tdfg.hh"
 #include "egraph/egraph.hh"
 
 namespace infs {
@@ -35,8 +38,8 @@ findKind(const EGraph &eg, EClassId id, TdfgKind kind)
 
 } // namespace
 
-ExtractionResult
-TdfgOptimizer::optimize(const TdfgGraph &g, const ExtractionCost &cost)
+Expected<ExtractionResult>
+TdfgOptimizer::tryOptimize(const TdfgGraph &g, const ExtractionCost &cost)
 {
     rewrites_ = 0;
     iterations_ = 0;
@@ -95,11 +98,28 @@ TdfgOptimizer::optimize(const TdfgGraph &g, const ExtractionCost &cost)
             rootOrigins.push_back(id);
         }
     }
-    ExtractionResult res = extract(eg, roots, cost, g);
+    Expected<ExtractionResult> res = extract(eg, roots, cost, g);
+    if (!res)
+        return res.error();
     // Re-attach outputs.
     for (std::size_t i = 0; i < g.outputs().size(); ++i)
-        res.graph.output(res.rootNodes[i], g.outputs()[i].array);
+        res->graph.output(res->rootNodes[i], g.outputs()[i].array);
+    if (opts_.verifyExtraction) {
+        if (auto ok = checkTdfg(res->graph); !ok)
+            return ok.error();
+    }
     return res;
+}
+
+ExtractionResult
+TdfgOptimizer::optimize(const TdfgGraph &g, const ExtractionCost &cost)
+{
+    Expected<ExtractionResult> res = tryOptimize(g, cost);
+    if (!res) {
+        infs_fatal("tDFG '%s': optimization failed with no fallback: %s",
+                   g.name().c_str(), res.error().str().c_str());
+    }
+    return std::move(*res);
 }
 
 unsigned
@@ -695,27 +715,46 @@ struct GraphBuilder {
     TdfgGraph &g;
     std::unordered_map<EClassId, NodeId> built;
     std::unordered_map<EClassId, bool> inProgress;
+    /** First failure; once set, build() unwinds returning invalidNode. */
+    std::optional<Error> err;
 
     NodeId
     build(EClassId c, bool use_fallback = false)
     {
+        if (err)
+            return invalidNode;
         c = eg.find(c);
         auto it = built.find(c);
         if (it != built.end())
             return it->second;
         if (inProgress[c]) {
-            infs_assert(!use_fallback, "cycle in acyclic tree selection");
+            if (use_fallback) {
+                // The tree selection's positive node costs should make
+                // it acyclic; a cycle here means the cost fixpoint was
+                // corrupted, so reject the extraction rather than abort.
+                err = Error{ErrCode::VerifyFailed,
+                            "extraction: cycle in acyclic tree selection "
+                            "at class " + std::to_string(c)};
+                return invalidNode;
+            }
             use_fallback = true;
         }
         const Selection &s = use_fallback ? fallback : sel;
         auto si = s.find(c);
-        infs_assert(si != s.end(), "extraction: class %u unreachable", c);
+        if (si == s.end()) {
+            err = Error{ErrCode::VerifyFailed,
+                        "extraction: class " + std::to_string(c) +
+                            " unreachable in the cost fixpoint"};
+            return invalidNode;
+        }
         const ENode &n = *si->second;
         inProgress[c] = true;
         std::vector<NodeId> kids;
         for (EClassId ch : n.children)
             kids.push_back(build(ch, use_fallback));
         inProgress[c] = false;
+        if (err)
+            return invalidNode;
         // A deeper frame may have completed this class via the fallback
         // path; reuse it rather than emitting a duplicate node.
         it = built.find(c);
@@ -760,7 +799,7 @@ struct GraphBuilder {
 
 } // namespace
 
-ExtractionResult
+Expected<ExtractionResult>
 TdfgOptimizer::extract(const EGraph &eg, const std::vector<EClassId> &roots,
                        const ExtractionCost &cost,
                        const TdfgGraph &original) const
@@ -803,10 +842,13 @@ TdfgOptimizer::extract(const EGraph &eg, const std::vector<EClassId> &roots,
 
     // Build both candidate graphs and keep the one whose *true* cost (each
     // node charged once) is lower — never worse than tree extraction.
-    auto buildGraph = [&](const Selection &sel, ExtractionResult &res) {
-        GraphBuilder b{eg, sel, sel1, original, res.graph, {}, {}};
+    auto buildGraph = [&](const Selection &sel,
+                          ExtractionResult &res) -> std::optional<Error> {
+        GraphBuilder b{eg, sel, sel1, original, res.graph, {}, {}, {}};
         for (EClassId r : roots)
             res.rootNodes.push_back(b.build(r));
+        if (b.err)
+            return b.err;
         res.cost = 0.0;
         for (NodeId id = 0; id < res.graph.size(); ++id) {
             const TdfgNode &n = res.graph.node(id);
@@ -819,12 +861,20 @@ TdfgOptimizer::extract(const EGraph &eg, const std::vector<EClassId> &roots,
             pseudo.infiniteDomain = n.infiniteDomain;
             res.cost += cost.nodeCost(en, pseudo);
         }
+        return std::nullopt;
     };
 
     ExtractionResult tree{TdfgGraph(eg.dims(), original.name() + ".opt")};
-    buildGraph(sel1, tree);
+    if (std::optional<Error> e = buildGraph(sel1, tree))
+        return *std::move(e); // No tree selection: nothing to extract.
     ExtractionResult shared{TdfgGraph(eg.dims(), original.name() + ".opt")};
-    buildGraph(sel2, shared);
+    if (std::optional<Error> e = buildGraph(sel2, shared)) {
+        // The amortized selection is an optimization attempt on top of
+        // the sound tree extraction; losing it costs performance only.
+        infs_warn("extract: amortized selection rejected (%s); using tree "
+                  "extraction", e->str().c_str());
+        return tree;
+    }
     if (logVerbosity() >= 2)
         std::fprintf(stderr, "extract: tree=%.2f shared=%.2f\n", tree.cost,
                      shared.cost);

@@ -591,6 +591,10 @@ JitCompiler::tryLower(const TdfgGraph &g, const TiledLayout &layout,
     auto lowered = doLower(g, layout, map);
     if (!lowered)
         return lowered.error();
+    if (verify_) {
+        if (std::optional<Error> err = verify_(g, *lowered, layout, map))
+            return *std::move(err);
+    }
     auto prog = std::make_shared<InMemProgram>(std::move(*lowered));
     ++stats_.lowerings;
     stats_.totalJitTicks += prog->jitTicks;

@@ -9,7 +9,9 @@
 #ifndef INFS_JIT_JIT_HH
 #define INFS_JIT_JIT_HH
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -77,6 +79,19 @@ class JitCompiler
     const JitStats &stats() const { return stats_; }
     void resetStats() { stats_ = JitStats{}; }
 
+    /**
+     * Post-lowering verification callback (SystemConfig::verifyLevel).
+     * Runs on every cold lowering before the program is memoized; a
+     * returned Error rejects the program and tryLower reports it, so the
+     * runtime degrades the region instead of executing hazardous
+     * commands. Installed by InfinitySystem rather than constructed here
+     * to keep the analysis layer out of the JIT's dependencies.
+     */
+    using VerifyHook = std::function<std::optional<Error>(
+        const TdfgGraph &, const InMemProgram &, const TiledLayout &,
+        const AddressMap &)>;
+    void setVerifyHook(VerifyHook hook) { verify_ = std::move(hook); }
+
     /** Number of wordline slots available per array (e.g. 7 for fp32 on
      * 256-wordline arrays; the top slot is reserved for constants). */
     unsigned
@@ -94,6 +109,7 @@ class JitCompiler
 
     SystemConfig cfg_;
     JitStats stats_;
+    VerifyHook verify_;
     std::unordered_map<std::string, std::shared_ptr<const InMemProgram>>
         memo_;
 };

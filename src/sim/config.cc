@@ -18,6 +18,17 @@ SystemConfig::summary() const
     return os.str();
 }
 
+const char *
+verifyLevelName(VerifyLevel v)
+{
+    switch (v) {
+      case VerifyLevel::Off: return "off";
+      case VerifyLevel::Graphs: return "graphs";
+      case VerifyLevel::Full: return "full";
+    }
+    return "?";
+}
+
 SystemConfig
 defaultSystemConfig()
 {
@@ -37,6 +48,9 @@ testSystemConfig()
     cfg.l3.wordlines = 256;
     cfg.l3.bitlines = 256;
     cfg.stream.l3Streams = 192;
+    // Tests run every graph and command stream through the verifier so a
+    // lowering bug surfaces as a diagnostic, not silently wrong numbers.
+    cfg.verifyLevel = VerifyLevel::Full;
     return cfg;
 }
 

@@ -130,6 +130,19 @@ struct FaultConfig {
     Tick retryPenaltyCycles = 8;   ///< Re-issue overhead per retry.
 };
 
+/**
+ * How much static analysis (src/analysis) the runtime performs on its own
+ * intermediate artifacts before executing them.
+ */
+enum class VerifyLevel : std::uint8_t {
+    Off,    ///< No verification (production default).
+    Graphs, ///< tDFG verifier on every graph the runtime handles.
+    Full,   ///< Graphs + command-stream hazard analysis per lowering.
+};
+
+/** Human-readable verify-level name ("off"/"graphs"/"full"). */
+const char *verifyLevelName(VerifyLevel v);
+
 /** Tensor controller / JIT runtime parameters. */
 struct TensorConfig {
     unsigned lotEntries = 16;          ///< Layout override table regions.
@@ -158,6 +171,8 @@ struct SystemConfig {
     StreamConfig stream;
     TensorConfig tensor;
     FaultConfig fault;
+    /** Static-analysis level for graphs and lowered command streams. */
+    VerifyLevel verifyLevel = VerifyLevel::Off;
 
     unsigned numCores() const { return noc.meshX * noc.meshY; }
 

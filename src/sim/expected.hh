@@ -27,6 +27,7 @@ enum class ErrCode : std::uint8_t {
     LayoutConstraint, ///< Shape/tile violates a layout constraint (§4.1).
     CommandFailed,    ///< In-memory command faulted past the retry budget.
     InvalidArgument,  ///< Malformed user input (rank mismatch, zero dim).
+    VerifyFailed,     ///< Static analysis found the IR/commands invalid.
 };
 
 /** Human-readable error-code name. */

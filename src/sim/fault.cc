@@ -26,6 +26,7 @@ errCodeName(ErrCode c)
       case ErrCode::LayoutConstraint: return "layout_constraint";
       case ErrCode::CommandFailed: return "command_failed";
       case ErrCode::InvalidArgument: return "invalid_argument";
+      case ErrCode::VerifyFailed: return "verify_failed";
     }
     return "unknown";
 }

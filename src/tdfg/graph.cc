@@ -40,6 +40,16 @@ TdfgGraph::append(TdfgNode n)
     return id;
 }
 
+NodeId
+TdfgGraph::appendUnchecked(TdfgNode n)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    if (n.name.empty())
+        n.name = std::string(tdfgKindName(n.kind)) + std::to_string(id);
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
 HyperRect
 TdfgGraph::intersectOperands(const std::vector<NodeId> &ids) const
 {

@@ -145,6 +145,14 @@ class TdfgGraph
     /** Mark @p node's tensor as written back to array @p array. */
     void output(NodeId node, ArrayId array);
 
+    /**
+     * Append @p n verbatim, bypassing every builder invariant (operand
+     * ordering, domain inference, rank checks). For deserializers and the
+     * adversarial corpora of the tDFG verifier (tests/analysis); regular
+     * construction goes through the typed builders above.
+     */
+    NodeId appendUnchecked(TdfgNode n);
+
     struct Output {
         NodeId node;
         ArrayId array;

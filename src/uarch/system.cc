@@ -1,6 +1,10 @@
 #include "uarch/system.hh"
 
 #include <algorithm>
+#include <optional>
+
+#include "analysis/verify_cmds.hh"
+#include "analysis/verify_tdfg.hh"
 
 namespace infs {
 
@@ -13,6 +17,29 @@ InfinitySystem::InfinitySystem(SystemConfig cfg)
 {
     if (fault_.enabled())
         noc_.attachFaultInjector(&fault_);
+
+    // Post-lowering verification (DESIGN.md §9): at Graphs re-check the
+    // tDFG the JIT consumed; at Full additionally run the command hazard
+    // analyzer. Failures surface as recoverable errors, so the executor
+    // degrades the region rather than running hazardous commands.
+    if (cfg_.verifyLevel != VerifyLevel::Off) {
+        const VerifyLevel level = cfg_.verifyLevel;
+        const SystemConfig cfg_copy = cfg_;
+        jit_.setVerifyHook(
+            [level, cfg_copy](const TdfgGraph &g, const InMemProgram &prog,
+                              const TiledLayout &layout,
+                              const AddressMap &map)
+                -> std::optional<Error> {
+                VerifyReport rep = verifyTdfg(g);
+                if (level == VerifyLevel::Full)
+                    rep.merge(verifyCommands(prog, layout, map, cfg_copy));
+                if (!rep.clean()) {
+                    infs_warn("verify: %s", rep.str().c_str());
+                    return rep.toError();
+                }
+                return std::nullopt;
+            });
+    }
 }
 
 PrepareResult

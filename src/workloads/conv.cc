@@ -69,9 +69,16 @@ makeConv2d(Coord n0, Coord n1)
         }
         g.output(acc, 1);
         // Static compile (§3.2/Fig 6): the e-graph optimizer shares the
-        // symmetric-weight multiplies across taps.
+        // symmetric-weight multiplies across taps. Optimization is an
+        // attempt: a rejected extraction keeps the unoptimized graph.
         TdfgOptimizer opt;
-        return opt.optimize(g).graph;
+        Expected<ExtractionResult> res = opt.tryOptimize(g);
+        if (!res) {
+            infs_warn("conv2d: optimizer rejected (%s); using the "
+                      "unoptimized graph", res.error().str().c_str());
+            return g;
+        }
+        return std::move(res->graph);
     };
     NearStream ld, st;
     ld.pattern = AccessPattern::linear(0, 0, elems);

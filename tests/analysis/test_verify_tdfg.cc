@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Adversarial corpus for the tDFG verifier: each corrupted graph must
+ * trigger its specific diagnostic code, with no aborts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/verify_tdfg.hh"
+
+namespace infs {
+namespace {
+
+TdfgNode
+tensorNode(HyperRect dom, ArrayId array = 0)
+{
+    TdfgNode n;
+    n.kind = TdfgKind::Tensor;
+    n.domain = std::move(dom);
+    n.array = array;
+    return n;
+}
+
+TEST(VerifyTdfg, CleanGraphHasNoDiagnostics)
+{
+    TdfgGraph g(1, "clean");
+    NodeId a = g.tensor(0, HyperRect::interval(0, 64));
+    NodeId b = g.tensor(1, HyperRect::interval(0, 64));
+    NodeId s = g.compute(BitOp::Add, {a, b});
+    NodeId m = g.move(s, 0, 2);
+    g.output(m, 2);
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.clean()) << rep.str();
+    EXPECT_TRUE(checkTdfg(g).ok());
+}
+
+TEST(VerifyTdfg, DanglingOperandIsReported)
+{
+    TdfgGraph g(1, "dangling");
+    TdfgNode n;
+    n.kind = TdfgKind::Move;
+    n.operands = {7}; // Node table holds only this node.
+    n.domain = HyperRect::interval(0, 8);
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::OperandOutOfRange)) << rep.str();
+}
+
+TEST(VerifyTdfg, SelfReferenceBreaksTopologicalOrder)
+{
+    TdfgGraph g(1, "cycle");
+    g.appendUnchecked(tensorNode(HyperRect::interval(0, 8)));
+    TdfgNode n;
+    n.kind = TdfgKind::Move;
+    n.operands = {1}; // Its own id: the smallest possible cycle.
+    n.domain = HyperRect::interval(0, 8);
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::OperandOrder)) << rep.str();
+}
+
+TEST(VerifyTdfg, DimBeyondRankIsReported)
+{
+    TdfgGraph g(1, "rank");
+    g.appendUnchecked(tensorNode(HyperRect::interval(0, 8)));
+    TdfgNode n;
+    n.kind = TdfgKind::Move;
+    n.operands = {0};
+    n.dim = 5; // Rank-1 lattice.
+    n.dist = 1;
+    n.domain = HyperRect::interval(1, 9);
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::DimOutOfRank)) << rep.str();
+}
+
+TEST(VerifyTdfg, DisjointComputeOperandsAreReported)
+{
+    TdfgGraph g(1, "disjoint");
+    g.appendUnchecked(tensorNode(HyperRect::interval(0, 8), 0));
+    g.appendUnchecked(tensorNode(HyperRect::interval(16, 24), 1));
+    TdfgNode n;
+    n.kind = TdfgKind::Compute;
+    n.operands = {0, 1};
+    n.domain = HyperRect::interval(0, 8);
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::EmptyComputeDomain)) << rep.str();
+}
+
+TEST(VerifyTdfg, WrongMoveDomainIsReported)
+{
+    TdfgGraph g(1, "baddom");
+    g.appendUnchecked(tensorNode(HyperRect::interval(0, 8)));
+    TdfgNode n;
+    n.kind = TdfgKind::Move;
+    n.operands = {0};
+    n.dim = 0;
+    n.dist = 3;
+    n.domain = HyperRect::interval(0, 8); // Should be [3, 11).
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::DomainMismatch)) << rep.str();
+}
+
+TEST(VerifyTdfg, NonAssociativeReduceIsReported)
+{
+    TdfgGraph g(1, "badop");
+    g.appendUnchecked(tensorNode(HyperRect::interval(0, 8)));
+    TdfgNode n;
+    n.kind = TdfgKind::Reduce;
+    n.operands = {0};
+    n.fn = BitOp::Sub;
+    n.domain = HyperRect::interval(0, 1);
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::BadReduceOp)) << rep.str();
+}
+
+TEST(VerifyTdfg, ConstFlagMismatchIsReported)
+{
+    TdfgGraph g(1, "inf");
+    TdfgNode n;
+    n.kind = TdfgKind::Tensor;
+    n.infiniteDomain = true; // Only ConstVal may cover the lattice.
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::InfiniteMismatch)) << rep.str();
+}
+
+TEST(VerifyTdfg, BadShrinkRangeIsReported)
+{
+    TdfgGraph g(1, "shrink");
+    g.appendUnchecked(tensorNode(HyperRect::interval(4, 12)));
+    TdfgNode n;
+    n.kind = TdfgKind::Shrink;
+    n.operands = {0};
+    n.dim = 0;
+    n.domain = HyperRect::interval(0, 8); // Escapes the source's [4,12).
+    g.appendUnchecked(std::move(n));
+    VerifyReport rep = verifyTdfg(g);
+    EXPECT_TRUE(rep.has(VerifyCode::BadShrinkRange)) << rep.str();
+}
+
+TEST(VerifyTdfg, CheckTdfgCollapsesToVerifyFailed)
+{
+    TdfgGraph g(1, "err");
+    TdfgNode n;
+    n.kind = TdfgKind::Move;
+    n.operands = {3};
+    n.domain = HyperRect::interval(0, 8);
+    g.appendUnchecked(std::move(n));
+    Expected<bool> ok = checkTdfg(g);
+    ASSERT_FALSE(ok.ok());
+    EXPECT_EQ(ok.error().code, ErrCode::VerifyFailed);
+}
+
+} // namespace
+} // namespace infs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Differential check: every seed workload verifies clean at
+ * VerifyLevel::Full — each phase's tDFG as built, the e-graph-optimized
+ * form, and (through the executor with the verify hook installed) the
+ * lowered command streams. A verifier regression that misreads legal JIT
+ * output shows up here as a degraded region.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/verify_tdfg.hh"
+#include "core/executor.hh"
+#include "egraph/egraph.hh"
+#include "workloads/pointnet.hh"
+#include "workloads/workloads.hh"
+
+namespace infs {
+namespace {
+
+const std::vector<std::pair<std::string, std::function<Workload()>>> &
+seedWorkloads()
+{
+    static const std::vector<std::pair<std::string, std::function<Workload()>>>
+        entries = {
+            {"vec_add", [] { return makeVecAdd(512); }},
+            {"array_sum", [] { return makeArraySum(1000); }},
+            {"stencil1d", [] { return makeStencil1d(256, 4); }},
+            {"stencil2d", [] { return makeStencil2d(32, 24, 3); }},
+            {"stencil3d", [] { return makeStencil3d(16, 12, 8, 2); }},
+            {"dwt2d", [] { return makeDwt2d(32, 32); }},
+            {"gauss_elim", [] { return makeGaussElim(24); }},
+            {"conv2d", [] { return makeConv2d(24, 20); }},
+            {"conv3d", [] { return makeConv3d(10, 8, 4, 3); }},
+            {"mm_outer", [] { return makeMm(12, 16, 8, true); }},
+            {"mm_inner", [] { return makeMm(12, 16, 8, false); }},
+            {"kmeans", [] { return makeKmeans(64, 8, 4, true); }},
+            {"gather_mlp", [] { return makeGatherMlp(24, 8, 6, 40, true); }},
+            {"pointnet_ssg", [] { return makePointNetSSG(128); }},
+            {"pointnet_msg", [] { return makePointNetMSG(64); }},
+        };
+    return entries;
+}
+
+TEST(WorkloadsClean, TdfgsVerifyBeforeAndAfterOptimization)
+{
+    for (const auto &[name, make] : seedWorkloads()) {
+        Workload w = make();
+        for (const Phase &p : w.phases) {
+            if (!p.buildTdfg)
+                continue;
+            TdfgGraph g = p.buildTdfg(0);
+            VerifyReport rep = verifyTdfg(g);
+            EXPECT_TRUE(rep.clean())
+                << name << " phase '" << p.name << "': " << rep.str();
+
+            // tryOptimize re-verifies the extracted graph internally
+            // (Options::verifyExtraction); an error here means a rewrite
+            // or extraction produced an unsound graph.
+            TdfgOptimizer opt;
+            Expected<ExtractionResult> res = opt.tryOptimize(g);
+            ASSERT_TRUE(res.ok())
+                << name << " phase '" << p.name
+                << "': " << res.error().str();
+            VerifyReport rep2 = verifyTdfg(res->graph);
+            EXPECT_TRUE(rep2.clean())
+                << name << " phase '" << p.name
+                << "' optimized: " << rep2.str();
+        }
+    }
+}
+
+TEST(WorkloadsClean, ExecutorAtFullVerifyDegradesNothing)
+{
+    // testSystemConfig() runs at VerifyLevel::Full: the verify hook vets
+    // every lowered program. Any false positive degrades the region.
+    for (const auto &[name, make] : seedWorkloads()) {
+        InfinitySystem sys(testSystemConfig());
+        Executor exec(sys, Paradigm::InfS);
+        ExecStats st = exec.run(make());
+        EXPECT_EQ(st.regionsDegraded, 0u) << name;
+        EXPECT_GT(st.cycles, 0u) << name;
+    }
+}
+
+} // namespace
+} // namespace infs

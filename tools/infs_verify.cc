@@ -1,0 +1,247 @@
+/**
+ * @file
+ * infs-verify: run the static-analysis suite (DESIGN.md §9) over the seed
+ * workloads from the command line. Level `graphs` verifies every phase's
+ * tDFG as built and again after e-graph optimization; level `full`
+ * additionally lowers each tDFG exactly as the executor would and runs
+ * the command hazard analyzer over the result.
+ *
+ * Exit status: 0 all requested subjects verify clean, 1 diagnostics were
+ * reported, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/verify_cmds.hh"
+#include "analysis/verify_tdfg.hh"
+#include "core/executor.hh"
+#include "egraph/egraph.hh"
+#include "jit/jit.hh"
+#include "mem/address_map.hh"
+#include "workloads/pointnet.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace infs;
+
+struct Entry {
+    const char *name;
+    std::function<Workload()> make;
+};
+
+/** The seed workloads at their tier-1 test sizes. */
+const std::vector<Entry> &
+registry()
+{
+    static const std::vector<Entry> entries = {
+        {"vec_add", [] { return makeVecAdd(512); }},
+        {"array_sum", [] { return makeArraySum(1000); }},
+        {"stencil1d", [] { return makeStencil1d(256, 4); }},
+        {"stencil2d", [] { return makeStencil2d(32, 24, 3); }},
+        {"stencil3d", [] { return makeStencil3d(16, 12, 8, 2); }},
+        {"dwt2d", [] { return makeDwt2d(32, 32); }},
+        {"gauss_elim", [] { return makeGaussElim(24); }},
+        {"conv2d", [] { return makeConv2d(24, 20); }},
+        {"conv3d", [] { return makeConv3d(10, 8, 4, 3); }},
+        {"mm_outer", [] { return makeMm(12, 16, 8, true); }},
+        {"mm_inner", [] { return makeMm(12, 16, 8, false); }},
+        {"kmeans_outer", [] { return makeKmeans(64, 8, 4, true); }},
+        {"kmeans_inner", [] { return makeKmeans(64, 8, 4, false); }},
+        {"gather_mlp_outer", [] { return makeGatherMlp(24, 8, 6, 40, true); }},
+        {"gather_mlp_inner",
+         [] { return makeGatherMlp(24, 8, 6, 40, false); }},
+        {"pointnet_ssg", [] { return makePointNetSSG(128); }},
+        {"pointnet_msg", [] { return makePointNetMSG(64); }},
+    };
+    return entries;
+}
+
+/**
+ * Verify one workload: every tDFG phase, its optimized form, and (at
+ * Full) the lowered command stream under the layout the executor would
+ * choose. Returns the number of diagnostics reported.
+ */
+std::size_t
+verifyWorkload(const Workload &w, VerifyLevel level, bool verbose)
+{
+    SystemConfig cfg = testSystemConfig();
+    cfg.verifyLevel = level;
+    std::size_t n_diags = 0;
+    auto report = [&](const VerifyReport &rep, const std::string &subject) {
+        if (rep.clean()) {
+            if (verbose)
+                std::printf("  %s: clean\n", subject.c_str());
+            return;
+        }
+        n_diags += rep.size();
+        std::printf("  %s\n", rep.str().c_str());
+    };
+
+    // Replicate the executor's layout choice (§4.1): hints from every
+    // tensor phase, one primary layout for the region.
+    LayoutHints hints;
+    bool have_tdfg = false;
+    for (const Phase &p : w.phases) {
+        if (!p.buildTdfg)
+            continue;
+        LayoutHints h = LayoutHints::fromGraph(p.buildTdfg(0));
+        hints.shiftDims.insert(h.shiftDims.begin(), h.shiftDims.end());
+        hints.broadcastDims.insert(h.broadcastDims.begin(),
+                                   h.broadcastDims.end());
+        if (h.reduceDim)
+            hints.reduceDim = h.reduceDim;
+        have_tdfg = true;
+    }
+    if (!have_tdfg) {
+        if (verbose)
+            std::printf("  no tensor phases; nothing to verify\n");
+        return 0;
+    }
+    TilingPolicy policy(cfg.l3);
+    TileDecision tile = policy.choose(w.primaryShape, w.elemBytes, hints);
+    TiledLayout layout;
+    bool have_layout = false;
+    if (tile.valid) {
+        if (auto made = TiledLayout::make(w.primaryShape, tile.tile)) {
+            layout = std::move(*made);
+            have_layout = true;
+        }
+    }
+
+    AddressMap map(cfg.l3, cfg.noc.memCtrls);
+    JitCompiler jit(cfg);
+    for (const Phase &p : w.phases) {
+        if (!p.buildTdfg)
+            continue;
+        TdfgGraph g0 = p.buildTdfg(0);
+        report(verifyTdfg(g0), "tdfg '" + g0.name() + "'");
+
+        // After e-graph optimization the extracted graph must still
+        // verify (tryOptimize re-checks internally; surface its report).
+        TdfgOptimizer opt;
+        Expected<ExtractionResult> opt_res = opt.tryOptimize(g0);
+        if (!opt_res) {
+            ++n_diags;
+            std::printf("  tdfg '%s' optimized: %s\n", g0.name().c_str(),
+                        opt_res.error().str().c_str());
+        } else {
+            report(verifyTdfg(opt_res->graph),
+                   "tdfg '" + opt_res->graph.name() + "'");
+        }
+
+        if (level != VerifyLevel::Full)
+            continue;
+
+        // Phase-local layout exactly as the executor resolves it.
+        const TiledLayout *use_layout = have_layout ? &layout : nullptr;
+        TiledLayout phase_layout;
+        if (!p.latticeShape.empty() || g0.dims() != layout.dims()) {
+            std::vector<Coord> shape =
+                p.latticeShape.empty() ? w.primaryShape : p.latticeShape;
+            TileDecision td;
+            if (shape.size() == g0.dims())
+                td = policy.choose(shape, w.elemBytes,
+                                   LayoutHints::fromGraph(g0));
+            use_layout = nullptr;
+            if (td.valid) {
+                if (auto made = TiledLayout::make(shape, td.tile)) {
+                    phase_layout = std::move(*made);
+                    use_layout = &phase_layout;
+                }
+            }
+        }
+        if (use_layout == nullptr) {
+            if (verbose)
+                std::printf("  phase '%s': no in-memory layout; the "
+                            "executor would not lower it\n",
+                            p.name.c_str());
+            continue;
+        }
+        auto prog_or = jit.tryLower(g0, *use_layout, map);
+        if (!prog_or) {
+            // A lowering refusal degrades at runtime; it is not a
+            // hazard, so report it only for visibility.
+            if (verbose)
+                std::printf("  phase '%s': not lowerable (%s)\n",
+                            p.name.c_str(),
+                            prog_or.error().str().c_str());
+            continue;
+        }
+        report(verifyCommands(**prog_or, *use_layout, map, cfg),
+               "phase '" + p.name + "' commands");
+    }
+    return n_diags;
+}
+
+int
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--list] [--level=graphs|full] [--verbose] "
+        "[--all | workload...]\n"
+        "Verify seed workloads with the static-analysis suite "
+        "(DESIGN.md §9).\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    VerifyLevel level = VerifyLevel::Full;
+    bool verbose = false;
+    bool all = false;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const Entry &e : registry())
+                std::printf("%s\n", e.name);
+            return 0;
+        } else if (arg == "--level=graphs") {
+            level = VerifyLevel::Graphs;
+        } else if (arg == "--level=full") {
+            level = VerifyLevel::Full;
+        } else if (arg == "--verbose" || arg == "-v") {
+            verbose = true;
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg.rfind("-", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (!all && names.empty())
+        return usage(argv[0]);
+
+    std::size_t total = 0;
+    std::size_t run = 0;
+    for (const Entry &e : registry()) {
+        const bool wanted =
+            all || std::find(names.begin(), names.end(), e.name) !=
+                       names.end();
+        if (!wanted)
+            continue;
+        ++run;
+        std::printf("%s:\n", e.name);
+        std::size_t n = verifyWorkload(e.make(), level, verbose);
+        std::printf("  %zu diagnostic%s\n", n, n == 1 ? "" : "s");
+        total += n;
+    }
+    if (run != (all ? registry().size() : names.size())) {
+        std::printf("unknown workload name; --list shows the registry\n");
+        return 2;
+    }
+    std::printf("%s: %zu diagnostic%s across %zu workload%s\n",
+                verifyLevelName(level), total, total == 1 ? "" : "s", run,
+                run == 1 ? "" : "s");
+    return total == 0 ? 0 : 1;
+}
