@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare two infs-bench JSON files and fail on simulated regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
+
+The gate is on `sim_cycles` only: simulated cycles are deterministic
+across machines and thread counts (DESIGN.md section 10), so any change
+is a real model change, not noise. Wall-clock fields are reported for
+context but never gate. Exit status: 0 within budget, 1 regression,
+2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "infs-bench-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=15.0,
+                    help="max sim_cycles increase in percent (default 15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failed = []
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            failed.append(f"{name}: missing from {args.current}")
+            continue
+        bc, cc = b["sim_cycles"], c["sim_cycles"]
+        delta = 100.0 * (cc - bc) / bc if bc else (100.0 if cc else 0.0)
+        marker = " "
+        if delta > args.max_regress:
+            failed.append(f"{name}: sim_cycles {bc} -> {cc} "
+                          f"(+{delta:.1f}% > {args.max_regress:.0f}%)")
+            marker = "!"
+        print(f"{marker} {name:<18} sim_cycles {bc:>12} -> {cc:>12} "
+              f"({delta:+6.1f}%)  wall {b['wall_ms']:8.2f} -> "
+              f"{c['wall_ms']:8.2f} ms")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"+ {name:<18} new workload "
+              f"(sim_cycles {cur[name]['sim_cycles']})")
+
+    if failed:
+        print(f"\n{len(failed)} regression(s) beyond "
+              f"{args.max_regress:.0f}%:", file=sys.stderr)
+        for line in failed:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nbench_diff: all workloads within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

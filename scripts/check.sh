@@ -5,11 +5,29 @@
 # analyzer over every seed workload.
 #
 # Usage: scripts/check.sh [--plain-only|--sanitize-only|--lint-only|--lint]
+#                         [--threads N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
-mode=${1:-all}
+mode=all
+lint=no
+
+while [[ $# -gt 0 ]]; do
+    case $1 in
+        --plain-only|--sanitize-only) mode=$1 ;;
+        --lint) lint=yes ;;
+        --lint-only) lint=yes; mode=lint-only ;;
+        --threads)
+            [[ $# -ge 2 ]] || { echo "--threads needs a value" >&2; exit 2; }
+            jobs=$2
+            shift ;;
+        *) echo "usage: $0 [--plain-only|--sanitize-only|--lint-only|--lint]" \
+                "[--threads N]" >&2
+           exit 2 ;;
+    esac
+    shift
+done
 
 run_suite() {
     local dir=$1
@@ -24,8 +42,17 @@ run_lint() {
     cmake --build build -j "$jobs" --target infs-verify
     if command -v clang-tidy > /dev/null 2>&1; then
         echo "-- clang-tidy over src/"
+        # xargs -P forks parallel clang-tidy batches; a failing batch
+        # surfaces as a non-zero xargs status that `set -e` inside a
+        # pipeline used to swallow. Capture and propagate it explicitly.
+        local tidy_status=0
         find src -name '*.cc' -print0 |
-            xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+            xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet ||
+            tidy_status=$?
+        if [[ $tidy_status -ne 0 ]]; then
+            echo "check.sh: clang-tidy failed (status $tidy_status)" >&2
+            return "$tidy_status"
+        fi
     else
         echo "-- clang-tidy not installed; skipping"
     fi
@@ -33,10 +60,10 @@ run_lint() {
     build/tools/infs-verify --all --level=full
 }
 
-if [[ $mode == --lint || $mode == --lint-only ]]; then
+if [[ $lint == yes ]]; then
     echo "== lint =="
     run_lint
-    [[ $mode == --lint-only ]] && { echo "check.sh: lint passed"; exit 0; }
+    [[ $mode == lint-only ]] && { echo "check.sh: lint passed"; exit 0; }
     mode=all
 fi
 

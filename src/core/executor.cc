@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <optional>
 
 #include "analysis/verify_tdfg.hh"
 #include "tdfg/interp.hh"
@@ -305,9 +307,122 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
         cfg.l3.totalBitlines());
     waves = std::max<Tick>(waves, 1);
 
+    // ---- Plan (DESIGN.md §10): resolve each phase's route with the pure
+    // checks only — graph invariants, layout choice, Eq. 2 — so the JIT
+    // work of independent regions can fan out before the sequential
+    // timing walk below. The checks are side-effect free; hoisting them
+    // is behavior-identical to the former in-loop order.
+    enum class Route {
+        Irregular,   ///< No tDFG: near memory (fused) or the core.
+        DegradeTdfg, ///< Graph verification failed; degrade the region.
+        Fallback,    ///< No valid phase layout, or Eq. 2 said no.
+        InMemory,    ///< Offloaded to the fabric.
+    };
+    struct PhasePlan {
+        const Phase *phase = nullptr;
+        Route route = Route::Irregular;
+        Error error;          ///< DegradeTdfg diagnostic.
+        // Rank-1 placeholder until the phase's graph is built (TdfgGraph
+        // has no empty state).
+        TdfgGraph g0{1};      ///< First-iteration graph (set when built).
+        bool usesOwnLayout = false;
+        TiledLayout ownLayout; ///< Phase-specific layout when set.
+        std::string memoKey;   ///< Non-empty on the memoized path.
+        /** Pre-lowered program (memoized path), set bank-parallel. */
+        std::optional<Expected<std::shared_ptr<const InMemProgram>>> prog;
+    };
+    std::vector<PhasePlan> plans;
+    plans.reserve(w.phases.size());
     for (const Phase &p : w.phases) {
-        Tick phase_start = st.cycles;
+        PhasePlan plan;
+        plan.phase = &p;
         if (!p.buildTdfg) {
+            plans.push_back(std::move(plan));
+            continue;
+        }
+        plan.g0 = p.buildTdfg(0);
+
+        // Pre-offload verification (DESIGN.md §9): a graph that fails its
+        // invariants never reaches the offload decision or the JIT.
+        if (cfg.verifyLevel != VerifyLevel::Off) {
+            if (auto ok = checkTdfg(plan.g0); !ok) {
+                plan.route = Route::DegradeTdfg;
+                plan.error = ok.error();
+                plans.push_back(std::move(plan));
+                continue;
+            }
+        }
+
+        // Phases whose lattice rank differs from the workload layout get
+        // their own layout (or fall back when none is valid).
+        if (!p.latticeShape.empty() || plan.g0.dims() != layout.dims()) {
+            std::vector<Coord> shape =
+                p.latticeShape.empty() ? w.primaryShape : p.latticeShape;
+            TileDecision td;
+            if (shape.size() == plan.g0.dims())
+                td = policy.choose(shape, w.elemBytes,
+                                   LayoutHints::fromGraph(plan.g0));
+            if (!td.valid) {
+                plan.route = Route::Fallback;
+                plans.push_back(std::move(plan));
+                continue;
+            }
+            plan.ownLayout = TiledLayout(shape, td.tile);
+            plan.usesOwnLayout = true;
+        }
+
+        TdfgSummary summary = plan.g0.summarize();
+        // Eq. 2 (§4.3): Inf-S chooses between in- and near-memory; In-L3
+        // (no near-memory support) between in-memory and the core. The
+        // Fig 2 steady-state mode forces in-memory to plot the paradigm
+        // itself.
+        OffloadDecision dec = decideOffload(summary, cfg, !jit_enabled);
+        if (!w.assumeTransposed && !dec.inMemory) {
+            plan.route = Route::Fallback;
+            plans.push_back(std::move(plan));
+            continue;
+        }
+        plan.route = Route::InMemory;
+        if (p.sameTdfgEachIter)
+            plan.memoKey = w.name + "/" + p.name;
+        plans.push_back(std::move(plan));
+    }
+
+    // ---- Pre-lower independent regions bank-parallel (DESIGN.md §10).
+    // Each memoized phase lowers exactly once here; the timing walk
+    // consumes the cold program directly, so the JIT time lands on the
+    // same iteration and JitStats match the sequential order.
+    {
+        std::vector<PhasePlan *> jobs;
+        for (PhasePlan &plan : plans)
+            if (plan.route == Route::InMemory && !plan.memoKey.empty())
+                jobs.push_back(&plan);
+        auto lowerOne = [&](PhasePlan *plan) {
+            const TiledLayout &use_layout =
+                plan->usesOwnLayout ? plan->ownLayout : layout;
+            plan->prog = sys_.jit().tryLower(plan->g0, use_layout,
+                                             sys_.map(), plan->memoKey);
+        };
+        ThreadPool &pool = sys_.pool();
+        if (pool.inlineOnly() || jobs.size() <= 1) {
+            for (PhasePlan *job : jobs)
+                lowerOne(job);
+        } else {
+            std::vector<std::function<void()>> tasks;
+            tasks.reserve(jobs.size());
+            for (PhasePlan *job : jobs)
+                tasks.push_back([&lowerOne, job] { lowerOne(job); });
+            pool.runTasks(std::move(tasks));
+        }
+    }
+
+    // ---- Sequential timing walk: all simulated-time, traffic, energy,
+    // and fault accounting happens here, in phase order, exactly as the
+    // single-thread engine did.
+    for (PhasePlan &plan : plans) {
+        const Phase &p = *plan.phase;
+        Tick phase_start = st.cycles;
+        if (plan.route == Route::Irregular) {
             // Irregular-only phase: near memory when fused, core when not.
             if (fused &&
                 (!p.streams.empty() || p.buildStreams)) {
@@ -335,62 +450,15 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
             continue;
         }
-
-        TdfgGraph g0 = p.buildTdfg(0);
-
-        // Pre-offload verification (DESIGN.md §9): a graph that fails its
-        // invariants never reaches the offload decision or the JIT.
-        if (cfg.verifyLevel != VerifyLevel::Off) {
-            if (auto ok = checkTdfg(g0); !ok) {
-                degradeRegion(p, st, 0, p.iterations, ok.error());
-                st.phaseCycles.emplace_back(p.name,
-                                            st.cycles - phase_start);
-                continue;
-            }
+        if (plan.route == Route::DegradeTdfg) {
+            degradeRegion(p, st, 0, p.iterations, plan.error);
+            st.phaseCycles.emplace_back(p.name, st.cycles - phase_start);
+            continue;
         }
-
-        // Phases whose lattice rank differs from the workload layout get
-        // their own layout (or fall back when none is valid).
-        const TiledLayout *use_layout = &layout;
-        TiledLayout phase_layout;
-        if (!p.latticeShape.empty() || g0.dims() != layout.dims()) {
-            std::vector<Coord> shape =
-                p.latticeShape.empty() ? w.primaryShape : p.latticeShape;
-            TileDecision td;
-            if (shape.size() == g0.dims())
-                td = policy.choose(shape, w.elemBytes,
-                                   LayoutHints::fromGraph(g0));
-            if (!td.valid) {
-                if (fused && !p.streams.empty()) {
-                    for (std::uint64_t it = 0; it < p.iterations; ++it) {
-                        NearExecResult r =
-                            sys_.nearEngine().run(p.streams, 0);
-                        st.nearMemCycles += r.cycles;
-                        st.cycles += r.cycles;
-                    }
-                } else {
-                    Tick per_iter = corePhaseCycles(p, cfg.numCores(), st,
-                                                    p.iterations);
-                    st.coreCycles += per_iter * p.iterations;
-                    st.cycles += per_iter * p.iterations;
-                }
-                st.phaseCycles.emplace_back(p.name,
-                                            st.cycles - phase_start);
-                continue;
-            }
-            phase_layout = TiledLayout(shape, td.tile);
-            use_layout = &phase_layout;
-        }
-
-        TdfgSummary summary = g0.summarize();
-        // Eq. 2 (§4.3): Inf-S chooses between in- and near-memory; In-L3
-        // (no near-memory support) between in-memory and the core. The
-        // Fig 2 steady-state mode forces in-memory to plot the paradigm
-        // itself.
-        OffloadDecision dec = decideOffload(summary, cfg, !jit_enabled);
-        if (!w.assumeTransposed && !dec.inMemory) {
-            // Eq. 2 says in-memory does not pay: fused runs the stream
-            // form near memory; In-L3 falls back to the core.
+        if (plan.route == Route::Fallback) {
+            // Eq. 2 says in-memory does not pay (or no valid layout):
+            // fused runs the stream form near memory; In-L3 falls back to
+            // the core.
             if (fused && !p.streams.empty()) {
                 for (std::uint64_t it = 0; it < p.iterations; ++it) {
                     NearExecResult r = sys_.nearEngine().run(p.streams, 0);
@@ -407,6 +475,8 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             continue;
         }
 
+        const TiledLayout &use_layout =
+            plan.usesOwnLayout ? plan.ownLayout : layout;
         prepareOnce();
         auto accumulate = [&](const InMemExecResult &r) {
             st.computeCycles += r.computeCycles * waves;
@@ -419,12 +489,10 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             st.interTileNocBytes += r.interTileNocBytes;
         };
 
-        if (p.sameTdfgEachIter) {
+        if (!plan.memoKey.empty()) {
             // The first iteration pays the JIT; the rest reuse the
-            // memoized program (§4.2).
-            std::string key = w.name + "/" + p.name;
-            auto prog_or =
-                sys_.jit().tryLower(g0, *use_layout, sys_.map(), key);
+            // memoized program (§4.2). Lowered bank-parallel above.
+            auto &prog_or = *plan.prog;
             if (!prog_or) {
                 degradeRegion(p, st, 0, p.iterations, prog_or.error());
                 st.phaseCycles.emplace_back(p.name,
@@ -437,7 +505,7 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
                 st.cycles += prog->jitTicks;
             }
             InMemExecResult r = sys_.tensorController().execute(
-                *prog, *use_layout, 0, p.iterations);
+                *prog, use_layout, 0, p.iterations);
             if (r.failed) {
                 // The aborted attempt (including its retry time) is sunk
                 // cost; the region then reruns on the fallback path.
@@ -453,35 +521,73 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             accumulate(r);
         } else {
             // Changing parameters defeat memoization (gauss_elim, §8).
+            // Graphs build sequentially; lowering fans out in bounded
+            // blocks. When a lowering fails, the block may have lowered a
+            // few graphs past the failing iteration speculatively — that
+            // shows in JitStats only; ExecStats and the degradation point
+            // are unchanged (DESIGN.md §10).
+            ThreadPool &pool = sys_.pool();
+            const std::uint64_t block =
+                pool.inlineOnly()
+                    ? 1
+                    : std::max<std::uint64_t>(2 * pool.threads(), 4);
             bool degraded = false;
-            for (std::uint64_t it = 0; it < p.iterations; ++it) {
-                TdfgGraph g = it == 0 ? std::move(g0) : p.buildTdfg(it);
-                auto prog_or =
-                    sys_.jit().tryLower(g, *use_layout, sys_.map());
-                if (!prog_or) {
-                    degradeRegion(p, st, it, p.iterations - it,
-                                  prog_or.error());
-                    degraded = true;
-                    break;
+            for (std::uint64_t it0 = 0;
+                 it0 < p.iterations && !degraded; it0 += block) {
+                const std::uint64_t n =
+                    std::min<std::uint64_t>(block, p.iterations - it0);
+                std::vector<TdfgGraph> graphs;
+                graphs.reserve(n);
+                for (std::uint64_t k = 0; k < n; ++k) {
+                    graphs.push_back(it0 + k == 0
+                                         ? std::move(plan.g0)
+                                         : p.buildTdfg(it0 + k));
                 }
-                const auto &prog = *prog_or;
-                if (jit_enabled) {
-                    st.jitCycles += prog->jitTicks;
-                    st.cycles += prog->jitTicks;
+                using ProgOr =
+                    Expected<std::shared_ptr<const InMemProgram>>;
+                std::vector<std::optional<ProgOr>> progs(n);
+                auto lowerK = [&](std::uint64_t k) {
+                    progs[k] = sys_.jit().tryLower(graphs[k], use_layout,
+                                                   sys_.map());
+                };
+                if (pool.inlineOnly() || n == 1) {
+                    for (std::uint64_t k = 0; k < n; ++k)
+                        lowerK(k);
+                } else {
+                    std::vector<std::function<void()>> tasks;
+                    tasks.reserve(n);
+                    for (std::uint64_t k = 0; k < n; ++k)
+                        tasks.push_back([&lowerK, k] { lowerK(k); });
+                    pool.runTasks(std::move(tasks));
                 }
-                InMemExecResult r = sys_.tensorController().execute(
-                    *prog, *use_layout, 0);
-                if (r.failed) {
-                    st.cycles += r.cycles;
-                    degradeRegion(p, st, it, p.iterations - it,
-                                  Error{ErrCode::CommandFailed,
-                                        "in-memory command fault "
-                                        "persisted past the retry "
-                                        "budget"});
-                    degraded = true;
-                    break;
+                for (std::uint64_t k = 0; k < n; ++k) {
+                    const std::uint64_t it = it0 + k;
+                    ProgOr &prog_or = *progs[k];
+                    if (!prog_or) {
+                        degradeRegion(p, st, it, p.iterations - it,
+                                      prog_or.error());
+                        degraded = true;
+                        break;
+                    }
+                    const auto &prog = *prog_or;
+                    if (jit_enabled) {
+                        st.jitCycles += prog->jitTicks;
+                        st.cycles += prog->jitTicks;
+                    }
+                    InMemExecResult r = sys_.tensorController().execute(
+                        *prog, use_layout, 0);
+                    if (r.failed) {
+                        st.cycles += r.cycles;
+                        degradeRegion(p, st, it, p.iterations - it,
+                                      Error{ErrCode::CommandFailed,
+                                            "in-memory command fault "
+                                            "persisted past the retry "
+                                            "budget"});
+                        degraded = true;
+                        break;
+                    }
+                    accumulate(r);
                 }
-                accumulate(r);
             }
             if (degraded) {
                 st.phaseCycles.emplace_back(p.name,

@@ -225,6 +225,47 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
         return layout.banksFor(r, map);
     };
 
+    // Per-subtensor command generation. Alg. 1's decomposition makes the
+    // subtensors independent once the node's wordlines are allocated, so
+    // each one builds its commands into a private vector — bank-parallel
+    // when a pool is attached (DESIGN.md §10) — and the vectors splice in
+    // decomposition order: the emitted program is identical for any pool
+    // size. @p fn sets its bool out-param to request a pending inter-tile
+    // sync.
+    auto lowerSubs = [&](const std::vector<HyperRect> &subs,
+                         const std::function<void(
+                             const HyperRect &, std::vector<InMemCommand> &,
+                             bool &)> &fn) {
+        if (pool_ != nullptr && !pool_->inlineOnly() && subs.size() > 1) {
+            std::vector<std::vector<InMemCommand>> outs(subs.size());
+            std::vector<char> inter(subs.size(), 0);
+            pool_->parallelFor(
+                static_cast<std::int64_t>(subs.size()),
+                [&](std::int64_t i) {
+                    bool f = false;
+                    fn(subs[static_cast<std::size_t>(i)],
+                       outs[static_cast<std::size_t>(i)], f);
+                    inter[static_cast<std::size_t>(i)] = f ? 1 : 0;
+                });
+            for (std::size_t i = 0; i < subs.size(); ++i) {
+                for (InMemCommand &c : outs[i])
+                    prog.commands.push_back(std::move(c));
+                if (inter[i] != 0)
+                    pending_inter_tile = true;
+            }
+        } else {
+            for (const HyperRect &sub : subs) {
+                std::vector<InMemCommand> out;
+                bool f = false;
+                fn(sub, out, f);
+                for (InMemCommand &c : out)
+                    prog.commands.push_back(std::move(c));
+                if (f)
+                    pending_inter_tile = true;
+            }
+        }
+    };
+
     for (NodeId id = 0; id < g.size(); ++id) {
         const TdfgNode &n = g.node(id);
         switch (n.kind) {
@@ -268,7 +309,9 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             auto subs = tryDecomposeTensor(src_dom, layout.tile());
             if (!subs)
                 return subs.error();
-            for (const HyperRect &sub : *subs) {
+            lowerSubs(*subs, [&](const HyperRect &sub,
+                                 std::vector<InMemCommand> &out,
+                                 bool &inter) {
                 for (InMemCommand c :
                      compileMove(sub, n.dim, n.dist,
                                  layout.tileSize(n.dim))) {
@@ -281,10 +324,10 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                                               .intersect(HyperRect::array(
                                                   layout.shape()))));
                     if (c.kind == CmdKind::InterShift)
-                        pending_inter_tile = true;
-                    prog.commands.push_back(std::move(c));
+                        inter = true;
+                    out.push_back(std::move(c));
                 }
-            }
+            });
             loc[id] = {dst_wl, true};
             break;
           }
@@ -299,7 +342,9 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             auto subs = tryDecomposeTensor(src_dom, layout.tile());
             if (!subs)
                 return subs.error();
-            for (const HyperRect &sub : *subs) {
+            lowerSubs(*subs, [&](const HyperRect &sub,
+                                 std::vector<InMemCommand> &out,
+                                 bool &inter) {
                 InMemCommand c;
                 c.kind = CmdKind::BroadcastBl;
                 c.group = id;
@@ -316,9 +361,9 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                 c.banks = banksOf(sub.boundingUnion(dst));
                 // Broadcasts beyond one tile traverse the H tree/NoC.
                 if (n.count * src_dom.size(n.dim) > layout.tileSize(n.dim))
-                    pending_inter_tile = true;
-                prog.commands.push_back(std::move(c));
-            }
+                    inter = true;
+                out.push_back(std::move(c));
+            });
             loc[id] = {dst_wl, true};
             break;
           }
@@ -341,7 +386,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             auto subs = tryDecomposeTensor(n.domain, layout.tile());
             if (!subs)
                 return subs.error();
-            for (const HyperRect &sub : *subs) {
+            lowerSubs(*subs, [&](const HyperRect &sub,
+                                 std::vector<InMemCommand> &out, bool &) {
                 auto banks = banksOf(sub);
                 unsigned cur_wl = loc[tensor_ops[0]].wl;
                 // Fold further tensor operands pairwise.
@@ -356,7 +402,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.wlB = loc[tensor_ops[i]].wl;
                     c.wlDst = dst_wl;
                     c.banks = banks;
-                    prog.commands.push_back(std::move(c));
+                    out.push_back(std::move(c));
                     cur_wl = dst_wl;
                 }
                 // Fold constants as immediate operands.
@@ -372,7 +418,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.imm = imm;
                     c.wlDst = dst_wl;
                     c.banks = banks;
-                    prog.commands.push_back(std::move(c));
+                    out.push_back(std::move(c));
                     cur_wl = dst_wl;
                 }
                 // Unary non-const compute (e.g. relu): single command.
@@ -387,9 +433,9 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.wlB = cur_wl;
                     c.wlDst = dst_wl;
                     c.banks = banks;
-                    prog.commands.push_back(std::move(c));
+                    out.push_back(std::move(c));
                 }
-            }
+            });
             loc[id] = {dst_wl, true};
             break;
           }
@@ -431,7 +477,8 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
             auto subs = tryDecomposeTensor(src_dom, layout.tile());
             if (!subs)
                 return subs.error();
-            for (const HyperRect &sub : *subs) {
+            lowerSubs(*subs, [&](const HyperRect &sub,
+                                 std::vector<InMemCommand> &out, bool &) {
                 auto banks = banksOf(sub);
                 unsigned cur_wl = src.wl;
                 Coord live = std::min<Coord>(sub.size(n.dim),
@@ -458,7 +505,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     sh.wlA = cur_wl;
                     sh.wlDst = tmp_wl;
                     sh.banks = banks;
-                    prog.commands.push_back(std::move(sh));
+                    out.push_back(std::move(sh));
                     InMemCommand c;
                     c.kind = CmdKind::Compute;
                     c.group = id * 64 + 2 * r + 1;
@@ -472,7 +519,7 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.wlB = tmp_wl;
                     c.wlDst = dst_wl;
                     c.banks = banks;
-                    prog.commands.push_back(std::move(c));
+                    out.push_back(std::move(c));
                     cur_wl = dst_wl;
                     live = half;
                 }
@@ -505,10 +552,10 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     sh.wlA = cur_wl;
                     sh.wlDst = tmp_wl;
                     sh.banks = banks;
-                    prog.commands.push_back(std::move(sh));
+                    out.push_back(std::move(sh));
                     InMemCommand sync;
                     sync.kind = CmdKind::Sync;
-                    prog.commands.push_back(std::move(sync));
+                    out.push_back(std::move(sync));
                     InMemCommand c;
                     c.kind = CmdKind::Compute;
                     c.group = id * 64 + 33 + 2 * r;
@@ -528,10 +575,10 @@ JitCompiler::doLower(const TdfgGraph &g, const TiledLayout &layout,
                     c.wlB = tmp_wl;
                     c.wlDst = dst_wl;
                     c.banks = banks;
-                    prog.commands.push_back(std::move(c));
+                    out.push_back(std::move(c));
                     cur_wl = dst_wl;
                 }
-            }
+            });
             slot_busy[tmp_slot] = false; // Scratch freed after the node.
             loc[id] = {dst_wl, true};
             break;
@@ -582,8 +629,11 @@ JitCompiler::tryLower(const TdfgGraph &g, const TiledLayout &layout,
 {
     using Result = Expected<std::shared_ptr<const InMemProgram>>;
     if (!memo_key.empty()) {
-        auto it = memo_.find(memo_key);
-        if (it != memo_.end()) {
+        MemoShard &shard = shardFor(memo_key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(memo_key);
+        if (it != shard.map.end()) {
+            std::lock_guard<std::mutex> slock(statsMu_);
             ++stats_.memoHits;
             return Result(it->second);
         }
@@ -596,13 +646,20 @@ JitCompiler::tryLower(const TdfgGraph &g, const TiledLayout &layout,
             return *std::move(err);
     }
     auto prog = std::make_shared<InMemProgram>(std::move(*lowered));
-    ++stats_.lowerings;
-    stats_.totalJitTicks += prog->jitTicks;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.lowerings;
+        stats_.totalJitTicks += prog->jitTicks;
+    }
     if (!memo_key.empty()) {
         auto memoized = std::make_shared<InMemProgram>(*prog);
         memoized->memoized = true;
         memoized->jitTicks = 0; // Cached reuse skips lowering.
-        memo_.emplace(memo_key, std::move(memoized));
+        MemoShard &shard = shardFor(memo_key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // A concurrent pre-lowering of the same key may have won the
+        // race; emplace keeps the first entry (identical program).
+        shard.map.emplace(memo_key, std::move(memoized));
     }
     return Result(std::shared_ptr<const InMemProgram>(std::move(prog)));
 }

@@ -9,8 +9,10 @@
 #ifndef INFS_JIT_JIT_HH
 #define INFS_JIT_JIT_HH
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -20,6 +22,7 @@
 #include "jit/tiling.hh"
 #include "sim/config.hh"
 #include "sim/expected.hh"
+#include "sim/thread_pool.hh"
 #include "tdfg/graph.hh"
 
 namespace infs {
@@ -76,8 +79,27 @@ class JitCompiler
     lower(const TdfgGraph &g, const TiledLayout &layout,
           const AddressMap &map, const std::string &memo_key = "");
 
-    const JitStats &stats() const { return stats_; }
-    void resetStats() { stats_ = JitStats{}; }
+    /** Snapshot of the accumulated statistics (mutex-consistent). */
+    JitStats stats() const
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        return stats_;
+    }
+    void resetStats()
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        stats_ = JitStats{};
+    }
+
+    /**
+     * Attach a host thread pool (nullptr = inline). Per-subtensor command
+     * generation inside one lowering fans out, and tryLower itself
+     * becomes safe to call from concurrent pre-lowering tasks: the memo
+     * cache is sharded by key hash with per-shard locks and the stats
+     * sit behind their own mutex (DESIGN.md §10). Emitted programs are
+     * identical for any pool size.
+     */
+    void setThreadPool(ThreadPool *pool) { pool_ = pool; }
 
     /**
      * Post-lowering verification callback (SystemConfig::verifyLevel).
@@ -107,11 +129,25 @@ class JitCompiler
                                    const TiledLayout &layout,
                                    const AddressMap &map);
 
+    /** One lock-sharded slice of the memoization cache. */
+    struct MemoShard {
+        std::mutex mu;
+        std::unordered_map<std::string,
+                           std::shared_ptr<const InMemProgram>>
+            map;
+    };
+    static constexpr std::size_t kMemoShards = 16;
+    MemoShard &shardFor(const std::string &key)
+    {
+        return memo_[std::hash<std::string>{}(key) % kMemoShards];
+    }
+
     SystemConfig cfg_;
+    mutable std::mutex statsMu_;
     JitStats stats_;
     VerifyHook verify_;
-    std::unordered_map<std::string, std::shared_ptr<const InMemProgram>>
-        memo_;
+    ThreadPool *pool_ = nullptr;
+    std::array<MemoShard, kMemoShards> memo_;
 };
 
 /** Eq. 2 offload decision (§4.3). */

@@ -143,6 +143,21 @@ TiledLayout::tilesIntersecting(const HyperRect &r) const
     return out;
 }
 
+HyperRect
+TiledLayout::tileRect(std::int64_t t) const
+{
+    infs_assert(t >= 0 && t < numTiles(), "tile %lld out of range",
+                static_cast<long long>(t));
+    std::vector<Coord> lo(dims()), hi(dims());
+    for (unsigned d = 0; d < dims(); ++d) {
+        Coord td = t % grid_[d];
+        t /= grid_[d];
+        lo[d] = td * tile_[d];
+        hi[d] = std::min<Coord>(lo[d] + tile_[d], shape_[d]);
+    }
+    return HyperRect(std::move(lo), std::move(hi));
+}
+
 std::int64_t
 TiledLayout::countTilesIntersecting(const HyperRect &r) const
 {

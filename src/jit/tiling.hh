@@ -71,6 +71,13 @@ class TiledLayout
     /** Linear tile indices whose tiles intersect @p r. */
     std::vector<std::int64_t> tilesIntersecting(const HyperRect &r) const;
 
+    /**
+     * Lattice rectangle covered by tile @p t, clamped to the array shape
+     * (boundary tiles are partial). Lets per-tile walks iterate O(tile
+     * volume) cells instead of filtering the whole tensor by tileOf().
+     */
+    HyperRect tileRect(std::int64_t t) const;
+
     /** Number of tiles intersecting @p r (O(dims), no enumeration). */
     std::int64_t countTilesIntersecting(const HyperRect &r) const;
 

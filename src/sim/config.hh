@@ -174,6 +174,16 @@ struct SystemConfig {
     /** Static-analysis level for graphs and lowered command streams. */
     VerifyLevel verifyLevel = VerifyLevel::Off;
 
+    /**
+     * Host threads the simulator's parallel engine may use (bank-parallel
+     * fabric execution, per-subtensor JIT lowering, region pre-lowering —
+     * DESIGN.md §10). 0 = `hardware_concurrency`; 1 = exact legacy
+     * single-thread behavior. Simulation results are bit-identical for
+     * every value (the engine shards deterministically and merges in a
+     * fixed order), so this is purely a wall-clock knob.
+     */
+    unsigned hostThreads = 0;
+
     unsigned numCores() const { return noc.meshX * noc.meshY; }
 
     /** Peak fp32 multicore throughput in ops/cycle (Eq. 1 baseline). */

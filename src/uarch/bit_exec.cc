@@ -1,6 +1,8 @@
 #include "uarch/bit_exec.hh"
 
+#include <algorithm>
 #include <bit>
+#include <unordered_map>
 
 #include "sim/fault.hh"
 #include "tdfg/interp.hh"
@@ -26,6 +28,28 @@ BitAccurateFabric::tile(std::int64_t t)
     if (!p)
         p = std::make_unique<ComputeSram>(wordlines_, bitlines_);
     return *p;
+}
+
+void
+BitAccurateFabric::ensureTiles(const std::vector<std::int64_t> &tiles)
+{
+    for (std::int64_t t : tiles)
+        tile(t);
+}
+
+void
+BitAccurateFabric::forEachTile(const std::vector<std::int64_t> &tiles,
+                               const std::function<void(std::int64_t)> &fn)
+{
+    if (pool_ != nullptr && !pool_->inlineOnly() && tiles.size() > 1) {
+        pool_->parallelFor(static_cast<std::int64_t>(tiles.size()),
+                           [&](std::int64_t i) {
+                               fn(tiles[static_cast<std::size_t>(i)]);
+                           });
+    } else {
+        for (std::int64_t t : tiles)
+            fn(t);
+    }
 }
 
 std::int64_t
@@ -78,11 +102,12 @@ BitAccurateFabric::tileMask(const InMemCommand &cmd, std::int64_t t,
                             bool apply_shift_mask) const
 {
     BitRow mask(bitlines_);
-    HyperRect clipped =
-        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
+    // Clip to this tile's own rect so the walk is O(tile volume), not
+    // O(tensor volume) — every cell visited belongs to tile t.
+    HyperRect clipped = cmd.tensor
+                            .intersect(HyperRect::array(layout_.shape()))
+                            .intersect(layout_.tileRect(t));
     for (RectIter it(clipped); !it.done(); it.next()) {
-        if (layout_.tileOf(*it) != t)
-            continue;
         if (apply_shift_mask) {
             Coord tile_k = layout_.tile()[cmd.dim];
             Coord pos = (((*it)[cmd.dim] % tile_k) + tile_k) % tile_k;
@@ -98,10 +123,13 @@ void
 BitAccurateFabric::execCompute(const InMemCommand &cmd)
 {
     const bool positional = cmd.maskHi > cmd.maskLo;
-    for (std::int64_t t : layout_.tilesIntersecting(cmd.tensor)) {
+    std::vector<std::int64_t> tiles =
+        layout_.tilesIntersecting(cmd.tensor);
+    ensureTiles(tiles);
+    forEachTile(tiles, [&](std::int64_t t) {
         BitRow mask = tileMask(cmd, t, positional);
         if (!mask.any())
-            continue;
+            return;
         ComputeSram &s = tile(t);
         if (cmd.useImm) {
             s.execBinaryImm(cmd.op, cmd.dtype, cmd.wlA,
@@ -119,7 +147,7 @@ BitAccurateFabric::execCompute(const InMemCommand &cmd)
             s.execBinary(cmd.op, cmd.dtype, cmd.wlA, cmd.wlB, cmd.wlDst,
                          mask);
         }
-    }
+    });
 }
 
 void
@@ -128,73 +156,196 @@ BitAccurateFabric::execIntraShift(const InMemCommand &cmd)
     const std::int64_t stride = strideInTile(cmd.dim);
     const int delta =
         static_cast<int>(cmd.intraTileDist * stride);
-    for (std::int64_t t : layout_.tilesIntersecting(cmd.tensor)) {
+    std::vector<std::int64_t> tiles =
+        layout_.tilesIntersecting(cmd.tensor);
+    ensureTiles(tiles);
+    forEachTile(tiles, [&](std::int64_t t) {
         BitRow mask = tileMask(cmd, t, true);
         if (!mask.any())
-            continue;
+            return;
         tile(t).shift(cmd.dtype, cmd.wlA, cmd.wlDst, delta, mask);
-    }
+    });
 }
+
+namespace {
+
+/** One element in flight between tiles (gather/scatter two-phase). */
+struct PendingWrite {
+    std::int64_t dstPos;    ///< Bitline position in the destination tile.
+    std::uint64_t bits;     ///< Element bits read from the source.
+};
+
+} // namespace
 
 void
 BitAccurateFabric::execInterShift(const InMemCommand &cmd)
 {
     // Elements cross tiles: per covered cell, compute the destination
     // lattice coordinate and copy the element bits (the packed H-tree /
-    // NoC transfer, functionally).
+    // NoC transfer, functionally). Two-phase gather/scatter so
+    // overlapping source/dest slots are safe — and so each phase can fan
+    // out: reads are per-source-tile, writes per-destination-tile, and
+    // two threads never touch the same SRAM array.
     const Coord tile_k = layout_.tile()[cmd.dim];
     const Coord dist = cmd.interTileDist * tile_k + cmd.intraTileDist;
     HyperRect clipped =
         cmd.tensor.intersect(HyperRect::array(layout_.shape()));
-    // Gather then scatter so overlapping source/dest slots are safe.
-    std::vector<std::pair<std::vector<Coord>, std::uint64_t>> moves;
-    for (RectIter it(clipped); !it.done(); it.next()) {
-        Coord pos = ((((*it)[cmd.dim]) % tile_k) + tile_k) % tile_k;
-        if (pos < cmd.maskLo || pos >= cmd.maskHi)
-            continue;
-        std::vector<Coord> dst = *it;
-        dst[cmd.dim] += dist;
-        if (dst[cmd.dim] < 0 ||
-            dst[cmd.dim] >= layout_.shape()[cmd.dim])
-            continue; // Discarded outside the bounding rect (§3.2).
-        ComputeSram &s = tile(layout_.tileOf(*it));
-        std::uint64_t bits = s.readElement(
-            static_cast<unsigned>(layout_.positionInTile(*it)), cmd.wlA,
-            cmd.dtype);
-        moves.emplace_back(std::move(dst), bits);
+    std::vector<std::int64_t> src_tiles = layout_.tilesIntersecting(clipped);
+    ensureTiles(src_tiles);
+
+    // Gather (parallel over source tiles; reads only).
+    std::vector<std::vector<std::pair<std::int64_t, PendingWrite>>>
+        gathered(src_tiles.size());
+    auto gatherTile = [&](std::size_t i) {
+        auto &out = gathered[i];
+        std::int64_t st = src_tiles[i];
+        HyperRect part = clipped.intersect(layout_.tileRect(st));
+        ComputeSram &s = tile(st);
+        for (RectIter it(part); !it.done(); it.next()) {
+            Coord pos = ((((*it)[cmd.dim]) % tile_k) + tile_k) % tile_k;
+            if (pos < cmd.maskLo || pos >= cmd.maskHi)
+                continue;
+            std::vector<Coord> dst = *it;
+            dst[cmd.dim] += dist;
+            if (dst[cmd.dim] < 0 ||
+                dst[cmd.dim] >= layout_.shape()[cmd.dim])
+                continue; // Discarded outside the bounding rect (§3.2).
+            std::uint64_t bits = s.readElement(
+                static_cast<unsigned>(layout_.positionInTile(*it)),
+                cmd.wlA, cmd.dtype);
+            out.emplace_back(
+                layout_.tileOf(dst),
+                PendingWrite{layout_.positionInTile(dst), bits});
+        }
+    };
+    if (pool_ != nullptr && !pool_->inlineOnly() && src_tiles.size() > 1) {
+        pool_->parallelFor(static_cast<std::int64_t>(src_tiles.size()),
+                           [&](std::int64_t i) {
+                               gatherTile(static_cast<std::size_t>(i));
+                           });
+    } else {
+        for (std::size_t i = 0; i < src_tiles.size(); ++i)
+            gatherTile(i);
     }
-    for (auto &[dst, bits] : moves) {
-        ComputeSram &s = tile(layout_.tileOf(dst));
-        s.writeElement(static_cast<unsigned>(layout_.positionInTile(dst)),
-                       cmd.wlDst, cmd.dtype, bits);
-    }
+
+    // Bucket by destination tile (deterministic: source order preserved;
+    // destination cells are unique, so write order is irrelevant).
+    std::unordered_map<std::int64_t, std::vector<PendingWrite>> buckets;
+    for (auto &per_src : gathered)
+        for (auto &[dt, pw] : per_src)
+            buckets[dt].push_back(pw);
+    std::vector<std::int64_t> dst_tiles;
+    dst_tiles.reserve(buckets.size());
+    for (auto &[dt, v] : buckets)
+        dst_tiles.push_back(dt);
+    std::sort(dst_tiles.begin(), dst_tiles.end());
+    ensureTiles(dst_tiles);
+
+    // Scatter (parallel over destination tiles; writes only).
+    forEachTile(dst_tiles, [&](std::int64_t dt) {
+        ComputeSram &s = tile(dt);
+        for (const PendingWrite &pw : buckets.at(dt))
+            s.writeElement(static_cast<unsigned>(pw.dstPos), cmd.wlDst,
+                           cmd.dtype, pw.bits);
+    });
 }
 
 void
 BitAccurateFabric::execBroadcast(const InMemCommand &cmd)
 {
     // Replicate the source subtensor bcCount times along dim with offset
-    // bcDist (Fig 5 semantics), across tiles.
+    // bcDist (Fig 5 semantics), across tiles. Same gather/scatter shape
+    // as execInterShift: destination cells are unique (per replica j the
+    // map is injective and replica ranges are span-disjoint).
     HyperRect src =
         cmd.tensor.intersect(HyperRect::array(layout_.shape()));
     const Coord span = cmd.tensor.size(cmd.dim);
-    for (RectIter it(src); !it.done(); it.next()) {
-        ComputeSram &s = tile(layout_.tileOf(*it));
-        std::uint64_t bits = s.readElement(
-            static_cast<unsigned>(layout_.positionInTile(*it)), cmd.wlA,
-            cmd.dtype);
-        for (Coord j = 0; j < cmd.bcCount; ++j) {
-            std::vector<Coord> dst = *it;
-            dst[cmd.dim] += cmd.bcDist + j * span;
-            if (dst[cmd.dim] < 0 ||
-                dst[cmd.dim] >= layout_.shape()[cmd.dim])
-                continue;
-            ComputeSram &d = tile(layout_.tileOf(dst));
-            d.writeElement(
-                static_cast<unsigned>(layout_.positionInTile(dst)),
-                cmd.wlDst, cmd.dtype, bits);
+    std::vector<std::int64_t> src_tiles = layout_.tilesIntersecting(src);
+    ensureTiles(src_tiles);
+
+    std::vector<std::vector<std::pair<std::int64_t, PendingWrite>>>
+        gathered(src_tiles.size());
+    auto gatherTile = [&](std::size_t i) {
+        auto &out = gathered[i];
+        std::int64_t st = src_tiles[i];
+        HyperRect part = src.intersect(layout_.tileRect(st));
+        ComputeSram &s = tile(st);
+        for (RectIter it(part); !it.done(); it.next()) {
+            std::uint64_t bits = s.readElement(
+                static_cast<unsigned>(layout_.positionInTile(*it)),
+                cmd.wlA, cmd.dtype);
+            for (Coord j = 0; j < cmd.bcCount; ++j) {
+                std::vector<Coord> dst = *it;
+                dst[cmd.dim] += cmd.bcDist + j * span;
+                if (dst[cmd.dim] < 0 ||
+                    dst[cmd.dim] >= layout_.shape()[cmd.dim])
+                    continue;
+                out.emplace_back(
+                    layout_.tileOf(dst),
+                    PendingWrite{layout_.positionInTile(dst), bits});
+            }
         }
+    };
+    if (pool_ != nullptr && !pool_->inlineOnly() && src_tiles.size() > 1) {
+        pool_->parallelFor(static_cast<std::int64_t>(src_tiles.size()),
+                           [&](std::int64_t i) {
+                               gatherTile(static_cast<std::size_t>(i));
+                           });
+    } else {
+        for (std::size_t i = 0; i < src_tiles.size(); ++i)
+            gatherTile(i);
     }
+
+    std::unordered_map<std::int64_t, std::vector<PendingWrite>> buckets;
+    for (auto &per_src : gathered)
+        for (auto &[dt, pw] : per_src)
+            buckets[dt].push_back(pw);
+    std::vector<std::int64_t> dst_tiles;
+    dst_tiles.reserve(buckets.size());
+    for (auto &[dt, v] : buckets)
+        dst_tiles.push_back(dt);
+    std::sort(dst_tiles.begin(), dst_tiles.end());
+    ensureTiles(dst_tiles);
+
+    forEachTile(dst_tiles, [&](std::int64_t dt) {
+        ComputeSram &s = tile(dt);
+        for (const PendingWrite &pw : buckets.at(dt))
+            s.writeElement(static_cast<unsigned>(pw.dstPos), cmd.wlDst,
+                           cmd.dtype, pw.bits);
+    });
+}
+
+void
+BitAccurateFabric::execBroadcastVal(const InMemCommand &cmd)
+{
+    std::vector<std::int64_t> all(
+        static_cast<std::size_t>(layout_.numTiles()));
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<std::int64_t>(i);
+    ensureTiles(all);
+    forEachTile(all, [&](std::int64_t t) {
+        ComputeSram &s = tile(t);
+        s.writeImmediate(cmd.dtype,
+                         std::bit_cast<std::uint32_t>(
+                             static_cast<float>(cmd.imm)),
+                         cmd.wlDst, s.fullMask());
+    });
+}
+
+void
+BitAccurateFabric::applyFault(const InMemCommand &cmd,
+                              const PlannedFault &pf)
+{
+    ComputeSram &s = tile(pf.tile);
+    const bool parity_before = s.rowParity(pf.wl);
+    const std::uint64_t good = s.readElement(pf.bl, cmd.wlDst, cmd.dtype);
+    s.flipBit(pf.wl, pf.bl);
+    // Row parity flips on any single-bit upset — detection is certain.
+    infs_assert(s.rowParity(pf.wl) != parity_before,
+                "single-bit flip must flip row parity");
+    // Repair: rewrite the corrupted element (ECC correction / re-read of
+    // the known-good operand).
+    s.writeElement(pf.bl, cmd.wlDst, cmd.dtype, good);
 }
 
 void
@@ -206,34 +357,24 @@ BitAccurateFabric::injectAndRepair(const InMemCommand &cmd)
     const unsigned bits = dtypeBits(cmd.dtype);
     // Pick the upset site from the SRAM stream: tile, wordline within the
     // destination slot, bitline.
-    std::int64_t t =
-        touched[fault_->draw(FaultDomain::Sram, touched.size())];
-    unsigned wl = cmd.wlDst + static_cast<unsigned>(
-                                  fault_->draw(FaultDomain::Sram, bits));
-    unsigned bl = static_cast<unsigned>(
+    PlannedFault pf;
+    pf.cmdIndex = 0;
+    pf.tile = touched[fault_->draw(FaultDomain::Sram, touched.size())];
+    pf.wl = cmd.wlDst + static_cast<unsigned>(
+                            fault_->draw(FaultDomain::Sram, bits));
+    pf.bl = static_cast<unsigned>(
         fault_->draw(FaultDomain::Sram, bitlines_));
-    ComputeSram &s = tile(t);
-    const bool parity_before = s.rowParity(wl);
-    const std::uint64_t good = s.readElement(bl, cmd.wlDst, cmd.dtype);
-    s.flipBit(wl, bl);
-    // Row parity flips on any single-bit upset — detection is certain.
-    infs_assert(s.rowParity(wl) != parity_before,
-                "single-bit flip must flip row parity");
     fault_->recordDetection();
-    // Repair: rewrite the corrupted element (ECC correction / re-read of
-    // the known-good operand) and charge one retry.
-    s.writeElement(bl, cmd.wlDst, cmd.dtype, good);
+    applyFault(cmd, pf);
     fault_->recordRetry();
 }
 
 void
-BitAccurateFabric::executeCommand(const InMemCommand &cmd)
+BitAccurateFabric::executeNoFault(const InMemCommand &cmd)
 {
     switch (cmd.kind) {
       case CmdKind::Compute:
         execCompute(cmd);
-        if (fault_ && fault_->sampleSramFlip())
-            injectAndRepair(cmd);
         break;
       case CmdKind::IntraShift:
         execIntraShift(cmd);
@@ -244,26 +385,205 @@ BitAccurateFabric::executeCommand(const InMemCommand &cmd)
       case CmdKind::BroadcastBl:
         execBroadcast(cmd);
         break;
+      case CmdKind::BroadcastVal:
+        execBroadcastVal(cmd);
+        break;
+      case CmdKind::Sync:
+        break; // Ordering only; handled by the segment walk.
+    }
+}
+
+void
+BitAccurateFabric::executeCommand(const InMemCommand &cmd)
+{
+    executeNoFault(cmd);
+    if (cmd.kind == CmdKind::Compute && fault_ && fault_->sampleSramFlip())
+        injectAndRepair(cmd);
+}
+
+std::vector<std::int64_t>
+BitAccurateFabric::touchedTiles(const InMemCommand &cmd) const
+{
+    const HyperRect array = HyperRect::array(layout_.shape());
+    std::vector<std::int64_t> tiles;
+    auto add = [&](const HyperRect &r) {
+        auto v = layout_.tilesIntersecting(r.intersect(array));
+        tiles.insert(tiles.end(), v.begin(), v.end());
+    };
+    switch (cmd.kind) {
+      case CmdKind::Compute:
+      case CmdKind::IntraShift:
+        add(cmd.tensor);
+        break;
+      case CmdKind::InterShift: {
+        add(cmd.tensor);
+        const Coord tile_k = layout_.tile()[cmd.dim];
+        const Coord dist = cmd.interTileDist * tile_k + cmd.intraTileDist;
+        add(cmd.tensor.shifted(cmd.dim, dist));
+        break;
+      }
+      case CmdKind::BroadcastBl: {
+        add(cmd.tensor);
+        const Coord span = cmd.tensor.size(cmd.dim);
+        for (Coord j = 0; j < cmd.bcCount; ++j)
+            add(cmd.tensor.shifted(cmd.dim, cmd.bcDist + j * span));
+        break;
+      }
       case CmdKind::BroadcastVal: {
-        for (std::int64_t t = 0; t < layout_.numTiles(); ++t) {
-            ComputeSram &s = tile(t);
-            s.writeImmediate(cmd.dtype,
-                             std::bit_cast<std::uint32_t>(
-                                 static_cast<float>(cmd.imm)),
-                             cmd.wlDst, s.fullMask());
-        }
+        tiles.resize(static_cast<std::size_t>(layout_.numTiles()));
+        for (std::size_t i = 0; i < tiles.size(); ++i)
+            tiles[i] = static_cast<std::int64_t>(i);
         break;
       }
       case CmdKind::Sync:
-        break; // Ordering only; execution here is already sequential.
+        break;
     }
+    std::sort(tiles.begin(), tiles.end());
+    tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+    return tiles;
+}
+
+void
+BitAccurateFabric::executeSegment(
+    const InMemProgram &prog, std::size_t lo, std::size_t hi,
+    const std::vector<const PlannedFault *> &faults)
+{
+    if (hi <= lo)
+        return;
+    auto runOne = [&](std::size_t i) {
+        const InMemCommand &cmd = prog.commands[i];
+        executeNoFault(cmd);
+        if (faults[i] != nullptr)
+            applyFault(cmd, *faults[i]);
+    };
+    if (pool_ == nullptr || pool_->inlineOnly() || hi - lo == 1) {
+        for (std::size_t i = lo; i < hi; ++i)
+            runOne(i);
+        return;
+    }
+
+    // Lane partition: commands whose touched-tile sets overlap share a
+    // lane and execute in program order; disjoint lanes run concurrently
+    // — the host-side mirror of the banks' independence. Union-find over
+    // tile ownership.
+    const std::size_t n = hi - lo;
+    std::vector<std::vector<std::int64_t>> touched(n);
+    pool_->parallelFor(static_cast<std::int64_t>(n), [&](std::int64_t k) {
+        touched[static_cast<std::size_t>(k)] =
+            touchedTiles(prog.commands[lo + static_cast<std::size_t>(k)]);
+    });
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i)
+        parent[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    std::unordered_map<std::int64_t, std::size_t> tile_owner;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::int64_t t : touched[i]) {
+            auto [it, inserted] = tile_owner.emplace(t, i);
+            if (!inserted) {
+                std::size_t a = find(it->second), b = find(i);
+                if (a != b)
+                    parent[b] = a;
+                it->second = find(a);
+            }
+        }
+    }
+    std::unordered_map<std::size_t, std::size_t> root_lane;
+    std::vector<std::vector<std::size_t>> lanes;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = find(i);
+        auto [it, inserted] = root_lane.emplace(r, lanes.size());
+        if (inserted)
+            lanes.emplace_back();
+        lanes[it->second].push_back(i);
+    }
+
+    if (hazardCheck_ && lanes.size() > 1) {
+        // Engine self-check (DESIGN.md §10): the lanes about to run
+        // concurrently must have pairwise-disjoint tile sets — the same
+        // disjointness invariant the command hazard analyzer proves at
+        // lowering time (verifyLevel == Full).
+        std::unordered_map<std::int64_t, std::size_t> owner;
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+            for (std::size_t i : lanes[l]) {
+                for (std::int64_t t : touched[i]) {
+                    auto [it, inserted] = owner.emplace(t, l);
+                    infs_assert(inserted || it->second == l,
+                                "bank-parallel hazard: tile %lld shared "
+                                "by concurrent lanes %zu and %zu",
+                                static_cast<long long>(t), it->second, l);
+                }
+            }
+        }
+    }
+
+    if (lanes.size() == 1) {
+        for (std::size_t i = lo; i < hi; ++i)
+            runOne(i);
+        return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(lanes.size());
+    for (const auto &lane : lanes) {
+        tasks.push_back([&, lane] {
+            for (std::size_t k : lane)
+                runOne(lo + k);
+        });
+    }
+    pool_->runTasks(std::move(tasks));
 }
 
 void
 BitAccurateFabric::execute(const InMemProgram &prog)
 {
-    for (const InMemCommand &cmd : prog.commands)
-        executeCommand(cmd);
+    // Fault pre-sampling: one sequential walk in program order consumes
+    // the RNG streams exactly as the legacy inline path did, so the
+    // injected schedule (and every counter) is bit-identical for any
+    // pool size. The state effects are applied later inside the owning
+    // lane — ordered with respect to every command that shares a tile.
+    std::vector<PlannedFault> planned;
+    std::vector<const PlannedFault *> faults(prog.commands.size(),
+                                             nullptr);
+    if (fault_ != nullptr) {
+        for (std::size_t i = 0; i < prog.commands.size(); ++i) {
+            const InMemCommand &cmd = prog.commands[i];
+            if (cmd.kind != CmdKind::Compute || !fault_->sampleSramFlip())
+                continue;
+            auto touched = layout_.tilesIntersecting(cmd.tensor);
+            if (touched.empty())
+                continue;
+            const unsigned bits = dtypeBits(cmd.dtype);
+            PlannedFault pf;
+            pf.cmdIndex = i;
+            pf.tile =
+                touched[fault_->draw(FaultDomain::Sram, touched.size())];
+            pf.wl = cmd.wlDst + static_cast<unsigned>(
+                                    fault_->draw(FaultDomain::Sram, bits));
+            pf.bl = static_cast<unsigned>(
+                fault_->draw(FaultDomain::Sram, bitlines_));
+            fault_->recordDetection();
+            fault_->recordRetry();
+            planned.push_back(pf);
+        }
+        for (const PlannedFault &pf : planned)
+            faults[pf.cmdIndex] = &pf;
+    }
+
+    std::size_t seg_lo = 0;
+    for (std::size_t i = 0; i <= prog.commands.size(); ++i) {
+        if (i == prog.commands.size() ||
+            prog.commands[i].kind == CmdKind::Sync) {
+            executeSegment(prog, seg_lo, i, faults);
+            seg_lo = i + 1;
+        }
+    }
 }
 
 } // namespace infs

@@ -6,6 +6,13 @@
  * validation path for Alg. 1 + Alg. 2 — results are cross-checked against
  * the tDFG interpreter in tests. It models function, not time (the
  * TensorController owns timing).
+ *
+ * Execution is bank-parallel on the host (DESIGN.md §10): tiles are
+ * independent SRAM arrays, so per-tile work inside one command fans out
+ * across a thread pool, and whole commands between two Sync barriers run
+ * concurrently when their touched-tile sets are disjoint (lane
+ * partitioning — the simulator-side mirror of the hardware's 64
+ * independent banks). Results are bit-identical for every pool size.
  */
 
 #ifndef INFS_UARCH_BIT_EXEC_HH
@@ -18,6 +25,7 @@
 #include "bitserial/compute_sram.hh"
 #include "jit/commands.hh"
 #include "jit/tiling.hh"
+#include "sim/thread_pool.hh"
 
 namespace infs {
 
@@ -48,10 +56,18 @@ class BitAccurateFabric
     /** Read a single lattice element from slot @p wl. */
     float element(const std::vector<Coord> &pt, unsigned wl) const;
 
-    /** Execute every command of @p prog in order (functionally). */
+    /**
+     * Execute every command of @p prog, bank-parallel when a thread pool
+     * is attached. Between two Sync barriers, commands whose touched-tile
+     * sets are disjoint execute concurrently (each lane in program
+     * order); per-tile work inside a command fans out as well. Fault
+     * sampling is hoisted into a sequential pre-pass in program order, so
+     * the injected schedule — and therefore the result and every counter
+     * — is identical for any pool size.
+     */
     void execute(const InMemProgram &prog);
 
-    /** Execute one command. */
+    /** Execute one command (inline, legacy single-command entry). */
     void executeCommand(const InMemCommand &cmd);
 
     /** Direct access for tests. */
@@ -67,9 +83,42 @@ class BitAccurateFabric
      */
     void attachFaultInjector(FaultInjector *f) { fault_ = f; }
 
+    /** Attach a host thread pool (nullptr = inline execution). */
+    void setThreadPool(ThreadPool *pool) { pool_ = pool; }
+
+    /**
+     * Debug-mode precondition check (DESIGN.md §10): before running a
+     * sync segment's lanes concurrently, re-verify that the lanes'
+     * touched-tile sets really are disjoint — the same invariant the
+     * PR-2 command hazard analyzer proves at lowering time. Aborts on
+     * violation; off by default (the analyzer already gates JIT output
+     * when SystemConfig::verifyLevel == Full).
+     */
+    void setHazardCheck(bool on) { hazardCheck_ = on; }
+
+    /** Tiles (lattice rects intersected, shift targets, broadcast
+     * destinations) command @p cmd reads or writes. Sorted, unique. */
+    std::vector<std::int64_t> touchedTiles(const InMemCommand &cmd) const;
+
   private:
-    /** Inject one bit flip into @p cmd's destination, detect, repair. */
+    /** Deterministically pre-sampled SRAM upset for one command. */
+    struct PlannedFault {
+        std::size_t cmdIndex;
+        std::int64_t tile;
+        unsigned wl;
+        unsigned bl;
+    };
+
+    /** Apply one pre-sampled upset: flip, detect via parity, repair. */
+    void applyFault(const InMemCommand &cmd, const PlannedFault &pf);
+    /** Sample (legacy inline path) and apply an upset for @p cmd. */
     void injectAndRepair(const InMemCommand &cmd);
+    /** Execute @p cmd's state update without fault hooks. */
+    void executeNoFault(const InMemCommand &cmd);
+    /** Run commands [lo, hi) of @p prog as one sync segment. */
+    void executeSegment(const InMemProgram &prog, std::size_t lo,
+                        std::size_t hi,
+                        const std::vector<const PlannedFault *> &faults);
     /** Bitline index delta for a unit step along @p dim inside a tile. */
     std::int64_t strideInTile(unsigned dim) const;
 
@@ -77,15 +126,26 @@ class BitAccurateFabric
     BitRow tileMask(const InMemCommand &cmd, std::int64_t t,
                     bool apply_shift_mask) const;
 
+    /** Allocate every tile in @p tiles (parallel loops must not race the
+     * lazy allocation in tile()). */
+    void ensureTiles(const std::vector<std::int64_t> &tiles);
+
     void execCompute(const InMemCommand &cmd);
     void execIntraShift(const InMemCommand &cmd);
     void execInterShift(const InMemCommand &cmd);
     void execBroadcast(const InMemCommand &cmd);
+    void execBroadcastVal(const InMemCommand &cmd);
+
+    /** parallelFor over @p tiles when a pool is attached, else inline. */
+    void forEachTile(const std::vector<std::int64_t> &tiles,
+                     const std::function<void(std::int64_t)> &fn);
 
     TiledLayout layout_;
     unsigned wordlines_;
     unsigned bitlines_;
     FaultInjector *fault_ = nullptr;
+    ThreadPool *pool_ = nullptr;
+    bool hazardCheck_ = false;
     // Lazily allocated tiles (large layouts touch few in tests).
     mutable std::vector<std::unique_ptr<ComputeSram>> tiles_;
 };

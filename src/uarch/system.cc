@@ -9,12 +9,14 @@
 namespace infs {
 
 InfinitySystem::InfinitySystem(SystemConfig cfg)
-    : cfg_(cfg), fault_(cfg.fault), noc_(cfg.noc), l3_(cfg.l3),
-      dram_(cfg.dram, cfg.core.ghz), map_(cfg.l3, cfg.noc.memCtrls),
-      lot_(cfg.tensor.lotEntries), jit_(cfg),
-      near_(cfg_, noc_, l3_, dram_, map_, energy_),
+    : cfg_(cfg), pool_(cfg.hostThreads), fault_(cfg.fault), noc_(cfg.noc),
+      l3_(cfg.l3), dram_(cfg.dram, cfg.core.ghz),
+      map_(cfg.l3, cfg.noc.memCtrls), lot_(cfg.tensor.lotEntries),
+      jit_(cfg), near_(cfg_, noc_, l3_, dram_, map_, energy_),
       tc_(cfg_, noc_, map_, energy_, &fault_), ttu_(2)
 {
+    jit_.setThreadPool(&pool_);
+    tc_.setThreadPool(&pool_);
     if (fault_.enabled())
         noc_.attachFaultInjector(&fault_);
 

@@ -20,6 +20,7 @@
 #include "noc/mesh.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/thread_pool.hh"
 #include "stream/near_engine.hh"
 #include "uarch/tensor_controller.hh"
 
@@ -51,6 +52,8 @@ class InfinitySystem
     const TensorTransposeUnit &ttu() const { return ttu_; }
     FaultInjector &faultInjector() { return fault_; }
     const FaultInjector &faultInjector() const { return fault_; }
+    /** Host thread pool (SystemConfig::hostThreads, DESIGN.md §10). */
+    ThreadPool &pool() { return pool_; }
 
     /**
      * Prepare @p bytes of array data in the transposed layout: reserve
@@ -72,6 +75,9 @@ class InfinitySystem
 
   private:
     SystemConfig cfg_;
+    // The pool precedes every component that holds a pointer to it (and
+    // outlives their teardown, being destroyed last).
+    ThreadPool pool_;
     // The injector precedes every component that holds a pointer to it.
     FaultInjector fault_;
     MeshNoc noc_;

@@ -32,6 +32,61 @@ TensorController::maskedElements(const InMemCommand &cmd,
     return covered * per_coord;
 }
 
+std::vector<TensorController::CmdEffect>
+TensorController::computeEffects(const InMemProgram &prog,
+                                 const TiledLayout &layout) const
+{
+    const unsigned banks = cfg_.l3.numBanks;
+    std::vector<CmdEffect> effects(prog.commands.size());
+    auto one = [&](std::int64_t i) {
+        const InMemCommand &cmd =
+            prog.commands[static_cast<std::size_t>(i)];
+        CmdEffect &e = effects[static_cast<std::size_t>(i)];
+        if (cmd.kind == CmdKind::Sync)
+            return;
+        e.elems = maskedElements(cmd, layout);
+        if (cmd.kind == CmdKind::Compute ||
+            cmd.kind == CmdKind::IntraShift ||
+            cmd.kind == CmdKind::InterShift) {
+            e.tiles = static_cast<double>(
+                layout.countTilesIntersecting(cmd.tensor));
+        }
+        if (cmd.kind == CmdKind::InterShift) {
+            // Mean hop count of the per-bank destination pattern; only
+            // shifts whose tile-index delta crosses a bank actually use
+            // it, but it is pure geometry so it can precompute here.
+            std::int64_t stride = 1;
+            for (unsigned d = 0; d < cmd.dim; ++d)
+                stride *= layout.grid()[d];
+            std::int64_t tile_delta = cmd.interTileDist * stride;
+            std::int64_t abs_delta =
+                tile_delta < 0 ? -tile_delta : tile_delta;
+            if (abs_delta > 0) {
+                std::int64_t bank_delta =
+                    std::max<std::int64_t>(
+                        abs_delta / map_.arraysPerBank(), 1) %
+                    banks;
+                double hops = 0.0;
+                for (BankId b = 0; b < banks; ++b)
+                    hops += noc_.hops(b, static_cast<BankId>(
+                                             (b + bank_delta) % banks));
+                e.hops = hops / banks;
+            }
+        }
+    };
+    const std::int64_t n =
+        static_cast<std::int64_t>(prog.commands.size());
+    // Grain keeps short programs inline; only JIT output with many
+    // commands is worth fanning out.
+    constexpr std::int64_t kGrain = 16;
+    if (pool_ != nullptr && !pool_->inlineOnly() && n > kGrain)
+        pool_->parallelFor(n, one, kGrain);
+    else
+        for (std::int64_t i = 0; i < n; ++i)
+            one(i);
+    return effects;
+}
+
 InMemExecResult
 TensorController::execute(const InMemProgram &prog,
                           const TiledLayout &layout, BankId core,
@@ -73,12 +128,18 @@ TensorController::execute(const InMemProgram &prog,
         return m;
     };
 
+    // Pure per-command geometry, precomputed bank-parallel when a pool is
+    // attached (DESIGN.md §10). The timing fold below stays sequential.
+    const std::vector<CmdEffect> effects = computeEffects(prog, layout);
+
     // Fault model: each command issue may fail transiently (controller
     // parity catches it; bounded retry). Penalty cycles accumulate once
     // per execute() call — fault sampling does not scale with `repeat` so
     // the schedule stays a function of the command sequence alone.
     Tick fault_extra = 0;
-    for (const InMemCommand &cmd : prog.commands) {
+    for (std::size_t ci = 0; ci < prog.commands.size(); ++ci) {
+        const InMemCommand &cmd = prog.commands[ci];
+        const CmdEffect &eff = effects[ci];
         if (fault_ && cmd.kind != CmdKind::Sync) {
             CmdFault cf = fault_->sampleCmdFault();
             if (cf.faulted) {
@@ -119,14 +180,11 @@ TensorController::execute(const InMemProgram &prog,
             }
             bumpBanks(cmd.banks, cyc, cmd.group);
             res.computeCycles += cyc;
-            std::uint64_t elems = maskedElements(cmd, layout);
-            res.inMemOps += elems;
+            res.inMemOps += eff.elems;
             // Energy: ~3 row activations per bit step in each involved
             // SRAM array (2 senses + 1 write).
-            double tiles = static_cast<double>(
-                layout.countTilesIntersecting(cmd.tensor));
             energy_.charge(EnergyEvent::SramRowActivate,
-                           3.0 * bits * tiles * rep);
+                           3.0 * bits * eff.tiles * rep);
             break;
           }
           case CmdKind::BroadcastVal: {
@@ -139,12 +197,10 @@ TensorController::execute(const InMemProgram &prog,
             Tick cyc = lat_.intraShiftCycles(cmd.dtype);
             bumpBanks(cmd.banks, cyc, cmd.group);
             res.moveCycles += cyc;
-            std::uint64_t elems = maskedElements(cmd, layout);
             res.intraTileBytes +=
-                static_cast<double>(elems) * elem_bytes * rep;
-            double tiles = static_cast<double>(
-                layout.countTilesIntersecting(cmd.tensor));
-            energy_.charge(EnergyEvent::HtreeRowMove, bits * tiles * rep);
+                static_cast<double>(eff.elems) * elem_bytes * rep;
+            energy_.charge(EnergyEvent::HtreeRowMove,
+                           bits * eff.tiles * rep);
             break;
           }
           case CmdKind::InterShift: {
@@ -152,8 +208,8 @@ TensorController::execute(const InMemProgram &prog,
             // tile. Unlike intra-array shifts (bitline-parallel), the
             // crossing data serializes through each bank's H-tree port —
             // this is what makes poorly tiled layouts slow (Fig 16/17).
-            std::uint64_t elems = maskedElements(cmd, layout);
-            double bytes_once = static_cast<double>(elems) * elem_bytes;
+            double bytes_once =
+                static_cast<double>(eff.elems) * elem_bytes;
             double bytes = bytes_once * rep;
             double banks_involved =
                 static_cast<double>(std::max<std::size_t>(
@@ -179,16 +235,7 @@ TensorController::execute(const InMemProgram &prog,
             double crossing =
                 std::min(1.0, static_cast<double>(abs_delta) / apb);
             if (crossing > 0.0 && abs_delta > 0) {
-                std::int64_t bank_delta =
-                    std::max<std::int64_t>(abs_delta / map_.arraysPerBank(),
-                                           1) %
-                    banks;
-                double hops = 0.0;
-                for (BankId b = 0; b < banks; ++b)
-                    hops += noc_.hops(b, static_cast<BankId>(
-                                             (b + bank_delta) % banks));
-                hops /= banks;
-                noc_.accountBulk(bytes * crossing, hops,
+                noc_.accountBulk(bytes * crossing, eff.hops,
                                  TrafficClass::InterTile);
                 res.interTileNocBytes += bytes * crossing;
                 // NoC injection serialization for the crossing bytes.
@@ -201,19 +248,15 @@ TensorController::execute(const InMemProgram &prog,
                 res.moveCycles += noc_ser;
             }
             energy_.charge(EnergyEvent::HtreeRowMove,
-                           2.0 * bits * rep *
-                               static_cast<double>(
-                                   layout.countTilesIntersecting(
-                                       cmd.tensor)));
+                           2.0 * bits * rep * eff.tiles);
             break;
           }
           case CmdKind::BroadcastBl: {
             // One source row replicated across the destination region via
             // the buffered H tree; remote tiles receive it over the NoC
             // multicast. The source data serializes out of its banks.
-            std::uint64_t src_elems = maskedElements(cmd, layout);
             double bytes_once =
-                static_cast<double>(src_elems) * elem_bytes;
+                static_cast<double>(eff.elems) * elem_bytes;
             double bytes = bytes_once * rep;
             double banks_involved =
                 static_cast<double>(std::max<std::size_t>(

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * infs-bench: one CLI driving the seed-workload registry through the
+ * timing executor and the bit-accurate fabric, emitting a stable JSON
+ * schema for CI regression gating (scripts/bench_diff.py).
+ *
+ * Per workload it reports:
+ *  - wall_ms        host wall-clock for the timed section (exec + fabric)
+ *  - exec_wall_ms   Executor timing-model run
+ *  - fabric_wall_ms bit-accurate fabric passes (the bank-parallel meat)
+ *  - sim_cycles     simulated cycles (deterministic; the CI gate)
+ *  - jit_ticks      modeled JIT lowering time
+ *  - noc_hop_bytes  total NoC traffic (bytes x hops over all classes)
+ *  - checksum       FNV-1a over the fabric output bit patterns
+ *  - speedup_vs_1t  wall-clock speedup vs a --threads 1 rerun
+ *
+ * Simulated quantities are identical for any --threads value; only the
+ * wall-clock fields change (DESIGN.md §10).
+ *
+ * Exit status: 0 success, 2 usage error.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "jit/jit.hh"
+#include "mem/address_map.hh"
+#include "sim/rng.hh"
+#include "uarch/bit_exec.hh"
+#include "uarch/system.hh"
+#include "workloads/pointnet.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace infs;
+
+struct Scenario {
+    const char *name;
+    std::function<Workload()> quick; ///< Tier-1 sizes (CI smoke).
+    std::function<Workload()> full;  ///< Larger sizes for real timing.
+};
+
+/** The 17 seed scenarios, quick sizes matching infs-verify's tier-1
+ * registry. */
+const std::vector<Scenario> &
+registry()
+{
+    static const std::vector<Scenario> entries = {
+        {"vec_add", [] { return makeVecAdd(512); },
+         [] { return makeVecAdd(1 << 18); }},
+        {"array_sum", [] { return makeArraySum(1000); },
+         [] { return makeArraySum(1 << 18); }},
+        {"stencil1d", [] { return makeStencil1d(256, 4); },
+         [] { return makeStencil1d(1 << 16, 8); }},
+        {"stencil2d", [] { return makeStencil2d(32, 24, 3); },
+         [] { return makeStencil2d(256, 256, 6); }},
+        {"stencil3d", [] { return makeStencil3d(16, 12, 8, 2); },
+         [] { return makeStencil3d(64, 64, 32, 4); }},
+        {"dwt2d", [] { return makeDwt2d(32, 32); },
+         [] { return makeDwt2d(256, 256); }},
+        {"gauss_elim", [] { return makeGaussElim(24); },
+         [] { return makeGaussElim(96); }},
+        {"conv2d", [] { return makeConv2d(24, 20); },
+         [] { return makeConv2d(128, 128); }},
+        {"conv3d", [] { return makeConv3d(10, 8, 4, 3); },
+         [] { return makeConv3d(32, 32, 8, 8); }},
+        {"mm_outer", [] { return makeMm(12, 16, 8, true); },
+         [] { return makeMm(64, 64, 64, true); }},
+        {"mm_inner", [] { return makeMm(12, 16, 8, false); },
+         [] { return makeMm(64, 64, 64, false); }},
+        {"kmeans_outer", [] { return makeKmeans(64, 8, 4, true); },
+         [] { return makeKmeans(1024, 16, 8, true); }},
+        {"kmeans_inner", [] { return makeKmeans(64, 8, 4, false); },
+         [] { return makeKmeans(1024, 16, 8, false); }},
+        {"gather_mlp_outer",
+         [] { return makeGatherMlp(24, 8, 6, 40, true); },
+         [] { return makeGatherMlp(128, 32, 24, 256, true); }},
+        {"gather_mlp_inner",
+         [] { return makeGatherMlp(24, 8, 6, 40, false); },
+         [] { return makeGatherMlp(128, 32, 24, 256, false); }},
+        {"pointnet_ssg", [] { return makePointNetSSG(128); },
+         [] { return makePointNetSSG(512); }},
+        {"pointnet_msg", [] { return makePointNetMSG(64); },
+         [] { return makePointNetMSG(256); }},
+    };
+    return entries;
+}
+
+/** Per-workload measurement row. */
+struct Row {
+    std::string name;
+    double wallMs = 0.0;
+    double execWallMs = 0.0;
+    double fabricWallMs = 0.0;
+    std::uint64_t simCycles = 0;
+    std::uint64_t jitTicks = 0;
+    double nocHopBytes = 0.0;
+    std::uint64_t checksum = 0;
+    double speedup = 1.0;
+};
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Cap on lattice volume for the fabric pass: bit-serial simulation is
+ * O(volume x bits) per command, so paper-scale workloads would take
+ * minutes. Scenarios above the cap skip the fabric pass (checksum 0). */
+constexpr std::int64_t kFabricVolumeCap = 1 << 18;
+
+/**
+ * Bit-accurate fabric pass: lower the workload's first primary-layout
+ * tensor phase and execute it on real bitlines with the system pool
+ * attached — this is where --threads buys bank-parallel wall time.
+ * Deterministic inputs, deterministic checksum.
+ */
+double
+fabricPass(const Workload &w, const SystemConfig &cfg, ThreadPool *pool,
+           std::uint64_t &checksum)
+{
+    LayoutHints hints;
+    bool have_tdfg = false;
+    for (const Phase &p : w.phases) {
+        if (!p.buildTdfg)
+            continue;
+        LayoutHints h = LayoutHints::fromGraph(p.buildTdfg(0));
+        hints.shiftDims.insert(h.shiftDims.begin(), h.shiftDims.end());
+        hints.broadcastDims.insert(h.broadcastDims.begin(),
+                                   h.broadcastDims.end());
+        if (h.reduceDim)
+            hints.reduceDim = h.reduceDim;
+        have_tdfg = true;
+    }
+    if (!have_tdfg)
+        return 0.0;
+    TilingPolicy policy(cfg.l3);
+    TileDecision tile = policy.choose(w.primaryShape, w.elemBytes, hints);
+    if (!tile.valid)
+        return 0.0;
+    auto made = TiledLayout::make(w.primaryShape, tile.tile);
+    if (!made)
+        return 0.0;
+    TiledLayout layout = std::move(*made);
+    std::int64_t volume = 1;
+    for (Coord s : layout.shape())
+        volume *= s;
+    if (volume > kFabricVolumeCap)
+        return 0.0;
+
+    AddressMap map(cfg.l3, cfg.noc.memCtrls);
+    JitCompiler jit(cfg);
+    jit.setThreadPool(pool);
+    for (const Phase &p : w.phases) {
+        if (!p.buildTdfg)
+            continue;
+        TdfgGraph g = p.buildTdfg(0);
+        if (!p.latticeShape.empty() || g.dims() != layout.dims())
+            continue; // Primary-layout phases only.
+        auto prog_or = jit.tryLower(g, layout, map);
+        if (!prog_or)
+            continue;
+        const InMemProgram &prog = **prog_or;
+
+        const auto vol = static_cast<std::size_t>(volume);
+        BitAccurateFabric fab(layout);
+        fab.setThreadPool(pool);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto &[id, wl] : prog.arraySlots) {
+            std::vector<float> data(vol);
+            Rng rng(static_cast<std::uint64_t>(id) + 101);
+            for (auto &v : data)
+                v = rng.nextFloat(-4, 4);
+            fab.loadArray(data, wl);
+        }
+        fab.execute(prog);
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        std::vector<float> out(vol);
+        for (const auto &[id, wl] : prog.outputSlots) {
+            fab.storeArray(out, wl);
+            for (float v : out)
+                h = fnv1a(h, std::bit_cast<std::uint32_t>(v));
+        }
+        checksum = h;
+        return msSince(t0);
+    }
+    return 0.0;
+}
+
+/** One full measurement of a workload at a given thread count. */
+Row
+benchOne(const Scenario &sc, bool quick, unsigned threads)
+{
+    // Full runtime behavior: preparation, JIT, Eq. 2 adaptivity all
+    // included (assumeTransposed stays at the factory default).
+    Workload w = quick ? sc.quick() : sc.full();
+    SystemConfig cfg = testSystemConfig();
+    cfg.hostThreads = threads;
+    InfinitySystem sys(cfg);
+
+    Row row;
+    row.name = sc.name;
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExecStats st = Executor(sys, Paradigm::InfS).run(w);
+    row.execWallMs = msSince(t0);
+
+    row.simCycles = static_cast<std::uint64_t>(st.cycles);
+    row.jitTicks = static_cast<std::uint64_t>(st.jitCycles);
+    for (double v : st.nocHopBytes)
+        row.nocHopBytes += v;
+
+    row.fabricWallMs = fabricPass(w, cfg, &sys.pool(), row.checksum);
+    row.wallMs = row.execWallMs + row.fabricWallMs;
+    return row;
+}
+
+void
+writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
+          unsigned threads)
+{
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"infs-bench-v1\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+        std::fprintf(f, "      \"wall_ms\": %.3f,\n", r.wallMs);
+        std::fprintf(f, "      \"exec_wall_ms\": %.3f,\n", r.execWallMs);
+        std::fprintf(f, "      \"fabric_wall_ms\": %.3f,\n",
+                     r.fabricWallMs);
+        std::fprintf(f, "      \"sim_cycles\": %llu,\n",
+                     static_cast<unsigned long long>(r.simCycles));
+        std::fprintf(f, "      \"jit_ticks\": %llu,\n",
+                     static_cast<unsigned long long>(r.jitTicks));
+        std::fprintf(f, "      \"noc_hop_bytes\": %.1f,\n", r.nocHopBytes);
+        std::fprintf(f, "      \"checksum\": \"0x%016llx\",\n",
+                     static_cast<unsigned long long>(r.checksum));
+        std::fprintf(f, "      \"speedup_vs_1t\": %.3f\n", r.speedup);
+        std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+}
+
+int
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--quick|--full] [--threads N] [--json out.json] "
+        "[--list] [workload...]\n"
+        "Benchmark the seed workloads; default --quick over the whole "
+        "registry.\n"
+        "--threads 0 uses all hardware threads; simulated results are "
+        "identical for any value.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = true;
+    unsigned threads = 0;
+    std::string json_path;
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--full") {
+            quick = false;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--list") {
+            for (const Scenario &sc : registry())
+                std::printf("%s\n", sc.name);
+            return 0;
+        } else if (arg.rfind("-", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    std::vector<Row> rows;
+    std::size_t matched = 0;
+    for (const Scenario &sc : registry()) {
+        if (!names.empty() &&
+            std::find(names.begin(), names.end(), sc.name) == names.end())
+            continue;
+        ++matched;
+        Row row = benchOne(sc, quick, threads);
+        if (threads != 1) {
+            // Wall-clock baseline for the speedup column; simulated
+            // results are identical by construction.
+            Row base = benchOne(sc, quick, 1);
+            if (row.wallMs > 0.0)
+                row.speedup = base.wallMs / row.wallMs;
+        }
+        std::printf("%-18s wall %8.2f ms  (exec %7.2f + fabric %7.2f)  "
+                    "cycles %12llu  jit %8llu  speedup %5.2fx\n",
+                    row.name.c_str(), row.wallMs, row.execWallMs,
+                    row.fabricWallMs,
+                    static_cast<unsigned long long>(row.simCycles),
+                    static_cast<unsigned long long>(row.jitTicks),
+                    row.speedup);
+        rows.push_back(std::move(row));
+    }
+    if (!names.empty() && matched != names.size()) {
+        std::printf("unknown workload name; --list shows the registry\n");
+        return 2;
+    }
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::printf("cannot open %s for writing\n", json_path.c_str());
+            return 2;
+        }
+        writeJson(f, rows, quick, threads);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}
