@@ -3,24 +3,46 @@
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
 
-The gate is on `sim_cycles` only: simulated cycles are deterministic
-across machines and thread counts (DESIGN.md section 10), so any change
-is a real model change, not noise. Wall-clock fields are reported for
-context but never gate. Exit status: 0 within budget, 1 regression,
-2 usage/schema error.
+Two gates, both on machine-independent quantities (DESIGN.md section 10):
+
+- `sim_cycles` must not regress beyond --max-regress percent; simulated
+  cycles are deterministic across machines and thread counts, so any
+  change is a real model change, not noise.
+- `checksum` must be byte-identical whenever both files report a
+  non-zero value. Checksums fingerprint the bit-accurate fabric result
+  (or, from schema v2 on, the functional executor's output tensors when
+  no fabric pass ran), so any drift is a correctness bug, never noise.
+  A zero on either side means that file's harness predates checksum
+  coverage for the scenario; the pair is reported but does not gate.
+
+Wall-clock fields are reported for context but never gate. Accepts both
+the infs-bench-v1 and infs-bench-v2 schemas (v2 adds repeat/median
+timing and per-command-kind fabric breakdowns; the gated fields are
+identical). Exit status: 0 within budget, 1 regression or checksum
+mismatch, 2 usage/schema error.
 """
 
 import argparse
 import json
 import sys
 
+KNOWN_SCHEMAS = ("infs-bench-v1", "infs-bench-v2")
+
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    if data.get("schema") != "infs-bench-v1":
+    if data.get("schema") not in KNOWN_SCHEMAS:
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     return {w["name"]: w for w in data["workloads"]}
+
+
+def parse_checksum(row):
+    """Checksum as an int, or None when absent (early v1 files)."""
+    raw = row.get("checksum")
+    if raw is None:
+        return None
+    return int(raw, 16) if isinstance(raw, str) else int(raw)
 
 
 def main():
@@ -47,21 +69,32 @@ def main():
             failed.append(f"{name}: sim_cycles {bc} -> {cc} "
                           f"(+{delta:.1f}% > {args.max_regress:.0f}%)")
             marker = "!"
+
+        bsum, csum = parse_checksum(b), parse_checksum(c)
+        cks = "checksum ok"
+        if bsum is None or csum is None:
+            cks = "checksum n/a"
+        elif bsum == 0 or csum == 0:
+            cks = "checksum uncovered"
+        elif bsum != csum:
+            failed.append(f"{name}: checksum {b['checksum']} -> "
+                          f"{c['checksum']} (bit drift)")
+            marker = "!"
+            cks = "CHECKSUM MISMATCH"
         print(f"{marker} {name:<18} sim_cycles {bc:>12} -> {cc:>12} "
               f"({delta:+6.1f}%)  wall {b['wall_ms']:8.2f} -> "
-              f"{c['wall_ms']:8.2f} ms")
+              f"{c['wall_ms']:8.2f} ms  {cks}")
 
     for name in sorted(set(cur) - set(base)):
         print(f"+ {name:<18} new workload "
               f"(sim_cycles {cur[name]['sim_cycles']})")
 
     if failed:
-        print(f"\n{len(failed)} regression(s) beyond "
-              f"{args.max_regress:.0f}%:", file=sys.stderr)
+        print(f"\n{len(failed)} gate failure(s):", file=sys.stderr)
         for line in failed:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nbench_diff: all workloads within budget")
+    print("\nbench_diff: all workloads within budget, checksums stable")
     return 0
 
 

@@ -1,5 +1,6 @@
 #include "bitserial/bit_matrix.hh"
 
+#include <algorithm>
 #include <bit>
 
 namespace infs {
@@ -9,8 +10,44 @@ BitRow::setRange(unsigned lo, unsigned hi)
 {
     infs_assert(lo <= hi && hi <= bits_, "range [%u,%u) out of %u", lo, hi,
                 bits_);
-    for (unsigned i = lo; i < hi; ++i)
-        set(i, true);
+    if (lo >= hi)
+        return;
+    // Word-level fill: partial head word, full middle words, partial tail.
+    const unsigned w_lo = lo / 64, w_hi = (hi - 1) / 64;
+    const std::uint64_t head = ~0ULL << (lo % 64);
+    const std::uint64_t tail = ~0ULL >> (63 - (hi - 1) % 64);
+    if (w_lo == w_hi) {
+        words_[w_lo] |= head & tail;
+        return;
+    }
+    words_[w_lo] |= head;
+    for (unsigned w = w_lo + 1; w < w_hi; ++w)
+        words_[w] = ~0ULL;
+    words_[w_hi] |= tail;
+}
+
+void
+BitRow::fillRange(unsigned lo, unsigned hi, bool v)
+{
+    infs_assert(lo <= hi && hi <= bits_, "range [%u,%u) out of %u", lo, hi,
+                bits_);
+    if (v) {
+        setRange(lo, hi);
+        return;
+    }
+    if (lo >= hi)
+        return;
+    const unsigned w_lo = lo / 64, w_hi = (hi - 1) / 64;
+    const std::uint64_t head = ~0ULL << (lo % 64);
+    const std::uint64_t tail = ~0ULL >> (63 - (hi - 1) % 64);
+    if (w_lo == w_hi) {
+        words_[w_lo] &= ~(head & tail);
+        return;
+    }
+    words_[w_lo] &= ~head;
+    for (unsigned w = w_lo + 1; w < w_hi; ++w)
+        words_[w] = 0;
+    words_[w_hi] &= ~tail;
 }
 
 void
@@ -70,6 +107,198 @@ BitRow::inplace(const BitRow &o, OpKind k)
           case OpOr: words_[i] |= o.words_[i]; break;
           case OpXor: words_[i] ^= o.words_[i]; break;
         }
+    }
+}
+
+void
+BitRow::andInto(const BitRow &o)
+{
+    infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
+                o.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= o.words_[i];
+}
+
+void
+BitRow::xorInto(const BitRow &o)
+{
+    infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
+                o.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= o.words_[i];
+}
+
+void
+BitRow::orInto(const BitRow &o)
+{
+    infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
+                o.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= o.words_[i];
+}
+
+void
+BitRow::notAndInto(const BitRow &a, const BitRow &m)
+{
+    infs_assert(bits_ == a.bits_ && bits_ == m.bits_,
+                "row width mismatch %u vs %u/%u", bits_, a.bits_, m.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] = ~a.words_[i] & m.words_[i];
+    maskTail();
+}
+
+void
+BitRow::assignAnd(const BitRow &a, const BitRow &b)
+{
+    infs_assert(bits_ == a.bits_ && bits_ == b.bits_,
+                "row width mismatch %u vs %u/%u", bits_, a.bits_, b.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] = a.words_[i] & b.words_[i];
+}
+
+void
+BitRow::majInto(const BitRow &a, const BitRow &b)
+{
+    infs_assert(bits_ == a.bits_ && bits_ == b.bits_,
+                "row width mismatch %u vs %u/%u", bits_, a.bits_, b.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const std::uint64_t aw = a.words_[i], bw = b.words_[i];
+        words_[i] = (aw & bw) | (words_[i] & (aw ^ bw));
+    }
+}
+
+void
+BitRow::fullAdderInto(const BitRow &addend, BitRow &carry)
+{
+    infs_assert(bits_ == addend.bits_ && bits_ == carry.bits_,
+                "row width mismatch %u vs %u/%u", bits_, addend.bits_,
+                carry.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const std::uint64_t aw = words_[i];
+        const std::uint64_t bw = addend.words_[i];
+        const std::uint64_t cw = carry.words_[i];
+        const std::uint64_t axb = aw ^ bw;
+        words_[i] = axb ^ cw;
+        carry.words_[i] = (aw & bw) | (cw & axb);
+    }
+}
+
+void
+BitRow::assignSelect(const BitRow &a, const BitRow &b, const BitRow &pred)
+{
+    infs_assert(bits_ == a.bits_ && bits_ == b.bits_ &&
+                    bits_ == pred.bits_,
+                "row width mismatch in select (%u bits)", bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const std::uint64_t p = pred.words_[i];
+        words_[i] = (a.words_[i] & p) | (b.words_[i] & ~p);
+    }
+    maskTail();
+}
+
+void
+BitRow::copyFrom(const BitRow &src)
+{
+    infs_assert(bits_ == src.bits_, "row width mismatch %u vs %u", bits_,
+                src.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] = src.words_[i];
+}
+
+void
+BitRow::assignShifted(const BitRow &src, int dist)
+{
+    infs_assert(bits_ == src.bits_, "row width mismatch %u vs %u", bits_,
+                src.bits_);
+    infs_assert(&src != this, "assignShifted cannot alias");
+    const unsigned n =
+        static_cast<unsigned>(dist < 0 ? -dist : dist);
+    if (n >= bits_) {
+        clear();
+        return;
+    }
+    const unsigned word_shift = n / 64;
+    const unsigned bit_shift = n % 64;
+    if (dist >= 0) {
+        for (std::size_t i = words_.size(); i-- > 0;) {
+            std::uint64_t v = 0;
+            if (i >= word_shift) {
+                v = src.words_[i - word_shift] << bit_shift;
+                if (bit_shift != 0 && i > word_shift)
+                    v |= src.words_[i - word_shift - 1] >> (64 - bit_shift);
+            }
+            words_[i] = v;
+        }
+        maskTail();
+    } else {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t v = 0;
+            if (i + word_shift < words_.size()) {
+                v = src.words_[i + word_shift] >> bit_shift;
+                if (bit_shift != 0 && i + word_shift + 1 < words_.size())
+                    v |= src.words_[i + word_shift + 1] << (64 - bit_shift);
+            }
+            words_[i] = v;
+        }
+    }
+}
+
+void
+BitRow::extractTo(std::uint64_t *out, unsigned lo, unsigned len) const
+{
+    infs_assert(lo + len <= bits_, "span [%u,%u) out of %u", lo, lo + len,
+                bits_);
+    const unsigned out_words = (len + 63) / 64;
+    const unsigned w0 = lo / 64;
+    const unsigned sh = lo % 64;
+    for (unsigned i = 0; i < out_words; ++i) {
+        std::uint64_t v = words_[w0 + i] >> sh;
+        if (sh != 0 && w0 + i + 1 < words_.size())
+            v |= words_[w0 + i + 1] << (64 - sh);
+        out[i] = v;
+    }
+    // Mask the tail of the last word so staged values compare cleanly.
+    const unsigned rem = len % 64;
+    if (rem != 0)
+        out[out_words - 1] &= (1ULL << rem) - 1;
+}
+
+void
+BitRow::depositFrom(const std::uint64_t *in, unsigned lo, unsigned len)
+{
+    infs_assert(lo + len <= bits_, "span [%u,%u) out of %u", lo, lo + len,
+                bits_);
+    // Deposit word-by-word of the input: each input word lands in at most
+    // two destination words.
+    unsigned done = 0;
+    while (done < len) {
+        const unsigned chunk = std::min(64u, len - done);
+        const std::uint64_t m =
+            chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1);
+        const std::uint64_t v = in[done / 64] & m;
+        const unsigned pos = lo + done;
+        const unsigned w = pos / 64;
+        const unsigned sh = pos % 64;
+        words_[w] = (words_[w] & ~(m << sh)) | (v << sh);
+        if (sh != 0 && sh + chunk > 64) {
+            const unsigned spill = sh + chunk - 64;
+            const std::uint64_t sm = (1ULL << spill) - 1;
+            words_[w + 1] =
+                (words_[w + 1] & ~sm) | ((v >> (64 - sh)) & sm);
+        }
+        done += chunk;
+    }
+}
+
+void
+BitRow::mergeMasked(const BitRow &value, const BitRow &mask)
+{
+    infs_assert(bits_ == value.bits_ && bits_ == mask.bits_,
+                "row width mismatch %u vs %u/%u", bits_, value.bits_,
+                mask.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        const std::uint64_t m = mask.words_[i];
+        words_[i] = (words_[i] & ~m) | (value.words_[i] & m);
     }
 }
 
@@ -138,10 +367,15 @@ BitMatrix::readElement(unsigned bitline, unsigned wl, unsigned bits) const
     infs_assert(bits <= 64, "element too wide: %u", bits);
     infs_assert(wl + bits <= wordlines_, "element [%u,%u) beyond wordlines",
                 wl, wl + bits);
+    infs_assert(bitline < bitlines_, "bitline %u out of %u", bitline,
+                bitlines_);
+    // Word index and shift computed once; one masked word read per bit
+    // row (the per-bit get() with its bounds checks is the hot path).
+    const unsigned wi = bitline / 64;
+    const unsigned sh = bitline % 64;
     std::uint64_t v = 0;
     for (unsigned i = 0; i < bits; ++i)
-        if (row(wl + i).get(bitline))
-            v |= 1ULL << i;
+        v |= ((rows_[wl + i].words()[wi] >> sh) & 1ULL) << i;
     return v;
 }
 
@@ -152,8 +386,17 @@ BitMatrix::writeElement(unsigned bitline, unsigned wl, unsigned bits,
     infs_assert(bits <= 64, "element too wide: %u", bits);
     infs_assert(wl + bits <= wordlines_, "element [%u,%u) beyond wordlines",
                 wl, wl + bits);
-    for (unsigned i = 0; i < bits; ++i)
-        row(wl + i).set(bitline, (value >> i) & 1ULL);
+    infs_assert(bitline < bitlines_, "bitline %u out of %u", bitline,
+                bitlines_);
+    // Word index and shift computed once; one masked word update per bit
+    // row (the readElement fast path, inverted).
+    const unsigned wi = bitline / 64;
+    const unsigned sh = bitline % 64;
+    const std::uint64_t m = 1ULL << sh;
+    for (unsigned i = 0; i < bits; ++i) {
+        std::uint64_t &w = rows_[wl + i].words_[wi];
+        w = (w & ~m) | (((value >> i) & 1ULL) << sh);
+    }
 }
 
 } // namespace infs

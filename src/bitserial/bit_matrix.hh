@@ -9,6 +9,7 @@
 #define INFS_BITSERIAL_BIT_MATRIX_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -24,6 +25,9 @@ class BitRow
         : bits_(bits), words_((bits + 63) / 64, 0) {}
 
     unsigned bits() const { return bits_; }
+
+    /** Packed 64-bit words, LSB-first (read-only hot-path access). */
+    std::span<const std::uint64_t> words() const { return words_; }
 
     bool
     get(unsigned i) const
@@ -53,6 +57,9 @@ class BitRow
     /** Set bits [lo, hi) to 1 (others untouched). */
     void setRange(unsigned lo, unsigned hi);
 
+    /** Set bits [lo, hi) to @p v (word-level; others untouched). */
+    void fillRange(unsigned lo, unsigned hi, bool v);
+
     /** Set bits lo, lo+stride, ... (count of them) to 1. */
     void setStrided(unsigned lo, unsigned stride, unsigned count);
 
@@ -70,6 +77,65 @@ class BitRow
     BitRow &operator|=(const BitRow &o) { inplace(o, OpOr); return *this; }
     BitRow &operator^=(const BitRow &o) { inplace(o, OpXor); return *this; }
 
+    // ------------------------------------------------------------------
+    // Fused in-place word-level passes (the allocation-free hot paths —
+    // DESIGN.md §10). Every method below is a single pass over the packed
+    // words with no temporaries; rows must have equal widths.
+    // ------------------------------------------------------------------
+
+    /** this &= o (named form used by the hot paths). */
+    void andInto(const BitRow &o);
+
+    /** this ^= o. */
+    void xorInto(const BitRow &o);
+
+    /** this |= o. */
+    void orInto(const BitRow &o);
+
+    /** this = ~a & m (aliasing-safe: @p a or @p m may be *this). */
+    void notAndInto(const BitRow &a, const BitRow &m);
+
+    /** this = a & b. */
+    void assignAnd(const BitRow &a, const BitRow &b);
+
+    /** this = maj(a, b, this) = (a & b) | (this & (a ^ b)) — the carry
+     * half of a bit-serial full-adder step. */
+    void majInto(const BitRow &a, const BitRow &b);
+
+    /**
+     * One fused full-adder step: with *this holding the partial sum,
+     * updates this = this ^ addend ^ carry and carry = maj(this_old,
+     * addend, carry) in a single word pass.
+     */
+    void fullAdderInto(const BitRow &addend, BitRow &carry);
+
+    /** this = (a & pred) | (b & ~pred) — the predicated select. */
+    void assignSelect(const BitRow &a, const BitRow &b,
+                      const BitRow &pred);
+
+    /** this = src (width must match; no reallocation). */
+    void copyFrom(const BitRow &src);
+
+    /**
+     * this = src shifted by @p dist bitlines (positive = up / toward
+     * higher index). Allocation-free counterpart of shiftedUp/Down;
+     * @p src must not alias *this.
+     */
+    void assignShifted(const BitRow &src, int dist);
+
+    /**
+     * Extract bits [lo, lo + len) into @p out packed LSB-first
+     * ((len + 63) / 64 words). Word-level with arbitrary alignment.
+     */
+    void extractTo(std::uint64_t *out, unsigned lo, unsigned len) const;
+
+    /** Inverse of extractTo: deposit @p len bits from @p in at @p lo.
+     * Bits outside [lo, lo + len) are untouched. */
+    void depositFrom(const std::uint64_t *in, unsigned lo, unsigned len);
+
+    /** this = (this & ~mask) | (value & mask) — the predicated write. */
+    void mergeMasked(const BitRow &value, const BitRow &mask);
+
     bool operator==(const BitRow &o) const
     {
         return bits_ == o.bits_ && words_ == o.words_;
@@ -86,6 +152,9 @@ class BitRow
     BitRow apply(const BitRow &o, OpKind k) const;
     void inplace(const BitRow &o, OpKind k);
     void maskTail();
+
+    // Raw word access for BitMatrix's single-pass element fast paths.
+    friend class BitMatrix;
 
     unsigned bits_ = 0;
     std::vector<std::uint64_t> words_;
@@ -132,8 +201,7 @@ class BitMatrix
     void
     writeMasked(unsigned wl, const BitRow &value, const BitRow &mask)
     {
-        BitRow &r = row(wl);
-        r = (r & ~mask) | (value & mask);
+        row(wl).mergeMasked(value, mask);
     }
 
     /**

@@ -42,24 +42,39 @@ ComputeSram::driveRow(unsigned wl, const BitRow &value, const BitRow &mask)
     bits_.writeMasked(wl, value, mask);
 }
 
+BitRow &
+ComputeSram::scratch(unsigned i)
+{
+    while (pool_.size() <= i) {
+        pool_.emplace_back(bitlines());
+        ++scratchAllocs_;
+    }
+    return pool_[i];
+}
+
 Tick
 ComputeSram::intAddSub(bool subtract, DType t, unsigned wl_a, unsigned wl_b,
                        unsigned wl_dst, const BitRow &mask)
 {
     const unsigned n = dtypeBits(t);
     // Two's-complement: a - b = a + ~b + 1, so seed the carry with 1 and
-    // invert the sensed b bits.
-    BitRow carry(bitlines());
+    // invert the sensed b bits. Scratch rows acquired up front (a single
+    // growth call, so the references below stay valid); the per-bit loop
+    // is pure fused word passes over preexisting buffers.
+    scratch(2);
+    BitRow &carry = scratch(0);
+    BitRow &sum = scratch(1);
+    BitRow &b = scratch(2);
+    carry.clear();
     if (subtract)
-        carry = mask;
+        carry.copyFrom(mask);
     for (unsigned i = 0; i < n; ++i) {
-        BitRow a = senseRow(wl_a + i) & mask;
-        BitRow b = senseRow(wl_b + i) & mask;
+        sum.assignAnd(senseRow(wl_a + i), mask);
         if (subtract)
-            b = ~b & mask;
-        BitRow axb = a ^ b;
-        BitRow sum = axb ^ carry;
-        carry = (a & b) | (carry & axb);
+            b.notAndInto(senseRow(wl_b + i), mask);
+        else
+            b.assignAnd(senseRow(wl_b + i), mask);
+        sum.fullAdderInto(b, carry);
         driveRow(wl_dst + i, sum, mask);
     }
     ++stats_.opCount;
@@ -75,62 +90,71 @@ ComputeSram::intMul(DType t, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
     // Schoolbook shift-and-add producing the low n bits (wraps modulo 2^n,
     // matching C unsigned semantics; two's-complement low bits are the same
     // for signed operands). The accumulator lives in PE latches, modeled
-    // here as local rows.
-    std::vector<BitRow> acc(n, BitRow(bitlines()));
-    // Sense all of a and b once up front (hardware re-senses per step; we
-    // charge the activations accordingly).
-    std::vector<BitRow> a(n), b(n);
+    // here as pooled scratch rows: acc [0,n), a [n,2n), b [2n,3n), then
+    // carry and the masked addend.
+    scratch(3 * n + 1); // Grow the pool once, before the bit loops.
+    BitRow &carry = scratch(3 * n);
+    BitRow &addend = scratch(3 * n + 1);
     for (unsigned i = 0; i < n; ++i) {
-        a[i] = senseRow(wl_a + i) & mask;
-        b[i] = senseRow(wl_b + i) & mask;
+        scratch(i).clear();
+        scratch(n + i).assignAnd(senseRow(wl_a + i), mask);
+        scratch(2 * n + i).assignAnd(senseRow(wl_b + i), mask);
         // Account the additional per-step sensing the serial hardware does.
         stats_.rowReads += 1;
     }
     for (unsigned j = 0; j < n; ++j) {
-        const BitRow &bj = b[j];
+        const BitRow &bj = scratch(2 * n + j);
         if (!bj.any())
             continue;
-        BitRow carry(bitlines());
+        carry.clear();
         for (unsigned i = 0; i + j < n; ++i) {
-            BitRow addend = a[i] & bj;
-            BitRow axb = acc[i + j] ^ addend;
-            BitRow sum = axb ^ carry;
-            carry = (acc[i + j] & addend) | (carry & axb);
-            acc[i + j] = sum;
+            addend.assignAnd(scratch(n + i), bj);
+            scratch(i + j).fullAdderInto(addend, carry);
         }
     }
     for (unsigned i = 0; i < n; ++i)
-        driveRow(wl_dst + i, acc[i], mask);
+        driveRow(wl_dst + i, scratch(i), mask);
     ++stats_.opCount;
     return lat_.opCycles(BitOp::Mul, t);
 }
 
-BitRow
+void
 ComputeSram::lessThanMask(DType t, unsigned wl_a, unsigned wl_b,
-                          const BitRow &mask)
+                          const BitRow &mask, BitRow &lt)
 {
     const unsigned n = dtypeBits(t);
     // Bit-serial subtract a - b tracking the final carry-out and the sign
     // bit of the difference; signed less-than combines them with the
-    // operand signs (overflow-aware).
-    BitRow carry = mask; // Seed with 1 for two's-complement subtract.
-    BitRow diff_sign(bitlines());
-    BitRow a_sign(bitlines()), b_sign(bitlines());
+    // operand signs (overflow-aware). Scratch layout: the caller passes
+    // @p lt from the pool as well, so no row here is freshly allocated.
+    scratch(16);
+    BitRow &carry = scratch(10);
+    BitRow &a = scratch(11);
+    BitRow &b = scratch(12);
+    BitRow &diff_sign = scratch(13);
+    BitRow &a_sign = scratch(14);
+    BitRow &b_sign = scratch(15);
+    carry.copyFrom(mask); // Seed with 1 for two's-complement subtract.
+    diff_sign.clear();
+    a_sign.clear();
+    b_sign.clear();
     for (unsigned i = 0; i < n; ++i) {
-        BitRow a = senseRow(wl_a + i) & mask;
-        BitRow b = ~(senseRow(wl_b + i)) & mask;
-        BitRow axb = a ^ b;
-        BitRow sum = axb ^ carry;
-        carry = (a & b) | (carry & axb);
+        a.assignAnd(senseRow(wl_a + i), mask);
+        b.notAndInto(senseRow(wl_b + i), mask);
         if (i == n - 1) {
-            diff_sign = sum;
-            a_sign = a;
-            b_sign = ~b & mask; // Undo the inversion to recover sign(b).
+            a_sign.copyFrom(a);
+            b_sign.notAndInto(b, mask); // Undo the inversion: sign(b).
         }
+        a.fullAdderInto(b, carry); // a now holds the difference bit.
+        if (i == n - 1)
+            diff_sign.copyFrom(a);
     }
     // lt = (sign(a) != sign(b)) ? sign(a) : sign(diff)
-    BitRow signs_differ = a_sign ^ b_sign;
-    return ((signs_differ & a_sign) | (~signs_differ & diff_sign)) & mask;
+    BitRow &signs_differ = scratch(16);
+    signs_differ.copyFrom(a_sign);
+    signs_differ.xorInto(b_sign);
+    lt.assignSelect(a_sign, diff_sign, signs_differ);
+    lt.andInto(mask);
 }
 
 Tick
@@ -138,9 +162,7 @@ ComputeSram::fpBinary(BitOp op, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
                       const BitRow &mask)
 {
     const unsigned n = 32;
-    for (unsigned bl = 0; bl < bitlines(); ++bl) {
-        if (!mask.get(bl))
-            continue;
+    forEachSetBit(mask, [&](unsigned bl) {
         float a = readFloat(bl, wl_a);
         float b = readFloat(bl, wl_b);
         float r = 0.0f;
@@ -154,7 +176,7 @@ ComputeSram::fpBinary(BitOp op, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
           default: infs_panic("fpBinary: unsupported op %s", bitOpName(op));
         }
         writeFloat(bl, wl_dst, r);
-    }
+    });
     // Charge activations at the bit-serial rate the latency implies.
     Tick cycles = lat_.opCycles(op, DType::Fp32);
     stats_.rowReads += 2 * n;
@@ -180,12 +202,12 @@ ComputeSram::execBinary(BitOp op, DType t, unsigned wl_a, unsigned wl_b,
           case BitOp::Min:
             return fpBinary(op, wl_a, wl_b, wl_dst, mask);
           case BitOp::CmpLt: {
-            BitRow lt(bitlines());
-            for (unsigned bl = 0; bl < bitlines(); ++bl) {
-                if (!mask.get(bl))
-                    continue;
-                lt.set(bl, readFloat(bl, wl_a) < readFloat(bl, wl_b));
-            }
+            BitRow &lt = scratch(17);
+            lt.clear();
+            forEachSetBit(mask, [&](unsigned bl) {
+                if (readFloat(bl, wl_a) < readFloat(bl, wl_b))
+                    lt.set(bl, true);
+            });
             driveRow(wl_dst, lt, mask);
             ++stats_.opCount;
             return lat_.opCycles(BitOp::CmpLt, t);
@@ -202,20 +224,27 @@ ComputeSram::execBinary(BitOp op, DType t, unsigned wl_a, unsigned wl_b,
       case BitOp::Mul:
         return intMul(t, wl_a, wl_b, wl_dst, mask);
       case BitOp::CmpLt: {
-        BitRow lt = lessThanMask(t, wl_a, wl_b, mask);
+        BitRow &lt = scratch(17);
+        lessThanMask(t, wl_a, wl_b, mask, lt);
         driveRow(wl_dst, lt, mask);
         ++stats_.opCount;
         return lat_.opCycles(BitOp::CmpLt, t);
       }
       case BitOp::Max:
       case BitOp::Min: {
-        BitRow lt = lessThanMask(t, wl_a, wl_b, mask);
+        scratch(19);
+        BitRow &lt = scratch(17);
+        lessThanMask(t, wl_a, wl_b, mask, lt);
         // Max keeps b where a < b; Min keeps a where a < b.
-        BitRow keep_b = (op == BitOp::Max) ? lt : (~lt & mask);
+        BitRow &keep_b = scratch(18);
+        if (op == BitOp::Max)
+            keep_b.copyFrom(lt);
+        else
+            keep_b.notAndInto(lt, mask);
+        BitRow &r = scratch(19);
         for (unsigned i = 0; i < n; ++i) {
-            BitRow a = senseRow(wl_a + i);
-            BitRow b = senseRow(wl_b + i);
-            driveRow(wl_dst + i, (b & keep_b) | (a & ~keep_b), mask);
+            r.assignSelect(senseRow(wl_b + i), senseRow(wl_a + i), keep_b);
+            driveRow(wl_dst + i, r, mask);
         }
         ++stats_.opCount;
         return lat_.opCycles(op, t);
@@ -223,12 +252,16 @@ ComputeSram::execBinary(BitOp op, DType t, unsigned wl_a, unsigned wl_b,
       case BitOp::AndB:
       case BitOp::OrB:
       case BitOp::XorB: {
+        BitRow &r = scratch(17);
         for (unsigned i = 0; i < n; ++i) {
-            BitRow a = senseRow(wl_a + i);
-            BitRow b = senseRow(wl_b + i);
-            BitRow r = op == BitOp::AndB ? (a & b)
-                     : op == BitOp::OrB ? (a | b)
-                                        : (a ^ b);
+            r.copyFrom(senseRow(wl_a + i));
+            const BitRow &b = senseRow(wl_b + i);
+            if (op == BitOp::AndB)
+                r.andInto(b);
+            else if (op == BitOp::OrB)
+                r.orInto(b);
+            else
+                r.xorInto(b);
             driveRow(wl_dst + i, r, mask);
         }
         ++stats_.opCount;
@@ -236,14 +269,12 @@ ComputeSram::execBinary(BitOp op, DType t, unsigned wl_a, unsigned wl_b,
       }
       case BitOp::Div: {
         infs_assert(t == DType::Fp32 || true, "int div modeled functionally");
-        for (unsigned bl = 0; bl < bitlines(); ++bl) {
-            if (!mask.get(bl))
-                continue;
+        forEachSetBit(mask, [&](unsigned bl) {
             auto a = static_cast<std::int64_t>(readElement(bl, wl_a, t));
             auto b = static_cast<std::int64_t>(readElement(bl, wl_b, t));
             std::int64_t r = (b == 0) ? 0 : a / b;
             writeElement(bl, wl_dst, t, static_cast<std::uint64_t>(r));
-        }
+        });
         ++stats_.opCount;
         return lat_.opCycles(BitOp::Div, t);
       }
@@ -262,9 +293,9 @@ ComputeSram::execBinaryImm(BitOp op, DType t, unsigned wl_a,
     // Model with a reserved scratch area at the top wordlines.
     const unsigned n = dtypeBits(t);
     infs_assert(wordlines() >= n, "array too small for scratch");
-    unsigned scratch = wordlines() - n;
-    Tick cost = writeImmediate(t, imm, scratch, mask);
-    cost += execBinary(op, t, wl_a, scratch, wl_dst, mask);
+    unsigned scratch_wl = wordlines() - n;
+    Tick cost = writeImmediate(t, imm, scratch_wl, mask);
+    cost += execBinary(op, t, wl_a, scratch_wl, wl_dst, mask);
     return cost;
 }
 
@@ -283,10 +314,14 @@ ComputeSram::execUnary(BitOp op, DType t, unsigned wl_a, unsigned wl_dst,
       case BitOp::Relu: {
         // For both int and fp32, clearing every bit when the sign bit is
         // set yields max(x, 0) (fp32: +0.0). Row-parallel.
-        BitRow sign = senseRow(wl_a + n - 1) & mask;
-        BitRow keep = ~sign;
-        for (unsigned i = 0; i < n; ++i)
-            driveRow(wl_dst + i, senseRow(wl_a + i) & keep, mask);
+        scratch(18);
+        BitRow &keep = scratch(17);
+        keep.notAndInto(senseRow(wl_a + n - 1), mask);
+        BitRow &r = scratch(18);
+        for (unsigned i = 0; i < n; ++i) {
+            r.assignAnd(senseRow(wl_a + i), keep);
+            driveRow(wl_dst + i, r, mask);
+        }
         ++stats_.opCount;
         return lat_.opCycles(BitOp::Relu, t);
       }
@@ -300,11 +335,13 @@ ComputeSram::execSelect(DType t, unsigned wl_pred, unsigned wl_a,
                         unsigned wl_b, unsigned wl_dst, const BitRow &mask)
 {
     const unsigned n = dtypeBits(t);
-    BitRow pred = senseRow(wl_pred) & mask;
+    scratch(18);
+    BitRow &pred = scratch(17);
+    pred.assignAnd(senseRow(wl_pred), mask);
+    BitRow &r = scratch(18);
     for (unsigned i = 0; i < n; ++i) {
-        BitRow a = senseRow(wl_a + i);
-        BitRow b = senseRow(wl_b + i);
-        driveRow(wl_dst + i, (a & pred) | (b & ~pred), mask);
+        r.assignSelect(senseRow(wl_a + i), senseRow(wl_b + i), pred);
+        driveRow(wl_dst + i, r, mask);
     }
     ++stats_.opCount;
     return lat_.opCycles(BitOp::Select, t);
@@ -315,10 +352,10 @@ ComputeSram::writeImmediate(DType t, std::uint64_t imm, unsigned wl_dst,
                             const BitRow &mask)
 {
     const unsigned n = dtypeBits(t);
-    BitRow ones = mask;
-    BitRow zeros(bitlines());
+    BitRow &zeros = scratch(17);
+    zeros.clear();
     for (unsigned i = 0; i < n; ++i)
-        driveRow(wl_dst + i, ((imm >> i) & 1ULL) ? ones : zeros, mask);
+        driveRow(wl_dst + i, ((imm >> i) & 1ULL) ? mask : zeros, mask);
     ++stats_.opCount;
     return n; // One write per bit row.
 }
@@ -328,12 +365,14 @@ ComputeSram::shift(DType t, unsigned wl_src, unsigned wl_dst, int dist,
                    const BitRow &mask)
 {
     const unsigned n = dtypeBits(t);
-    const unsigned d = static_cast<unsigned>(dist < 0 ? -dist : dist);
-    BitRow dst_mask =
-        dist >= 0 ? mask.shiftedUp(d) : mask.shiftedDown(d);
+    scratch(19);
+    BitRow &dst_mask = scratch(17);
+    dst_mask.assignShifted(mask, dist);
+    BitRow &src = scratch(18);
+    BitRow &moved = scratch(19);
     for (unsigned i = 0; i < n; ++i) {
-        BitRow src = senseRow(wl_src + i) & mask;
-        BitRow moved = dist >= 0 ? src.shiftedUp(d) : src.shiftedDown(d);
+        src.assignAnd(senseRow(wl_src + i), mask);
+        moved.assignShifted(src, dist);
         driveRow(wl_dst + i, moved, dst_mask);
         ++stats_.htreeRowMoves;
     }
@@ -346,12 +385,11 @@ ComputeSram::broadcast(DType t, unsigned src_bitline, unsigned wl_src,
                        unsigned wl_dst, const BitRow &mask)
 {
     const unsigned n = dtypeBits(t);
+    BitRow &zeros = scratch(17);
+    zeros.clear();
     for (unsigned i = 0; i < n; ++i) {
         bool bit = senseRow(wl_src + i).get(src_bitline);
-        BitRow value(bitlines());
-        if (bit)
-            value = mask;
-        driveRow(wl_dst + i, value, mask);
+        driveRow(wl_dst + i, bit ? mask : zeros, mask);
         ++stats_.htreeRowMoves;
     }
     ++stats_.opCount;

@@ -11,7 +11,9 @@
 #ifndef INFS_BITSERIAL_COMPUTE_SRAM_HH
 #define INFS_BITSERIAL_COMPUTE_SRAM_HH
 
+#include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "bitserial/bit_matrix.hh"
 #include "bitserial/latency.hh"
@@ -157,14 +159,22 @@ class ComputeSram
 
     const LatencyTable &latency() const { return lat_; }
 
+    /**
+     * Heap allocations performed inside bit-serial kernels since
+     * construction. The scratch-row pool makes the per-bit loops
+     * allocation-free: after one warm-up call per kernel shape this
+     * counter stays flat (asserted by tests/bitserial).
+     */
+    std::uint64_t scratchAllocs() const { return scratchAllocs_; }
+
   private:
     Tick intAddSub(bool subtract, DType t, unsigned wl_a, unsigned wl_b,
                    unsigned wl_dst, const BitRow &mask);
     Tick intMul(DType t, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
                 const BitRow &mask);
-    /** Compute the signed less-than mask row for a < b. */
-    BitRow lessThanMask(DType t, unsigned wl_a, unsigned wl_b,
-                        const BitRow &mask);
+    /** Compute the signed less-than mask row for a < b into @p lt. */
+    void lessThanMask(DType t, unsigned wl_a, unsigned wl_b,
+                      const BitRow &mask, BitRow &lt);
     Tick fpBinary(BitOp op, unsigned wl_a, unsigned wl_b, unsigned wl_dst,
                   const BitRow &mask);
 
@@ -173,9 +183,40 @@ class ComputeSram
     /** Predicated write of wordline @p wl, counting the activation. */
     void driveRow(unsigned wl, const BitRow &value, const BitRow &mask);
 
+    /**
+     * Reusable scratch row @p i (PE latches / sense-amp copies). Grows
+     * the pool on first use only — per-bit loops acquire their rows up
+     * front, so the loops themselves never allocate. The caller owns the
+     * contents (no implicit clear). One ComputeSram is always driven by
+     * one thread at a time (the fabric's per-tile fan-out guarantees
+     * this), so the pool needs no locking.
+     */
+    BitRow &scratch(unsigned i);
+
+    /** Visit every set bit of @p mask as a bitline index (word-scan with
+     * count-trailing-zeros; the fp32 functional paths iterate only the
+     * selected lanes). */
+    template <typename Fn>
+    void
+    forEachSetBit(const BitRow &mask, Fn &&fn) const
+    {
+        const auto words = mask.words();
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            std::uint64_t w = words[wi];
+            while (w != 0) {
+                const unsigned bl = static_cast<unsigned>(wi) * 64 +
+                                    std::countr_zero(w);
+                fn(bl);
+                w &= w - 1;
+            }
+        }
+    }
+
     BitMatrix bits_;
     LatencyTable lat_;
     SramOpStats stats_;
+    std::vector<BitRow> pool_;
+    std::uint64_t scratchAllocs_ = 0;
 };
 
 } // namespace infs

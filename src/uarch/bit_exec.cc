@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <unordered_map>
 
 #include "sim/fault.hh"
@@ -11,12 +12,40 @@ namespace infs {
 
 BitAccurateFabric::BitAccurateFabric(TiledLayout layout, unsigned wordlines,
                                      unsigned bitlines)
-    : layout_(std::move(layout)), wordlines_(wordlines), bitlines_(bitlines)
+    : layout_(std::move(layout)), wordlines_(wordlines), bitlines_(bitlines),
+      arrayRect_(HyperRect::array(layout_.shape()))
 {
     infs_assert(layout_.tileVolume() <= static_cast<std::int64_t>(bitlines),
                 "tile volume %lld exceeds %u bitlines",
                 static_cast<long long>(layout_.tileVolume()), bitlines);
     tiles_.resize(static_cast<std::size_t>(layout_.numTiles()));
+}
+
+FabricStats
+BitAccurateFabric::stats() const
+{
+    FabricStats s;
+    for (std::size_t k = 0; k < s.byKind.size(); ++k) {
+        s.byKind[k].count = kindCount_[k].load(std::memory_order_relaxed);
+        s.byKind[k].wallMs =
+            static_cast<double>(
+                kindNanos_[k].load(std::memory_order_relaxed)) /
+            1e6;
+    }
+    s.maskCacheHits = maskHits_.load(std::memory_order_relaxed);
+    s.maskCacheMisses = maskMisses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+BitAccurateFabric::resetStats()
+{
+    for (std::size_t k = 0; k < kindCount_.size(); ++k) {
+        kindCount_[k].store(0, std::memory_order_relaxed);
+        kindNanos_[k].store(0, std::memory_order_relaxed);
+    }
+    maskHits_.store(0, std::memory_order_relaxed);
+    maskMisses_.store(0, std::memory_order_relaxed);
 }
 
 ComputeSram &
@@ -64,13 +93,65 @@ BitAccurateFabric::strideInTile(unsigned dim) const
 void
 BitAccurateFabric::loadArray(std::span<const float> data, unsigned wl)
 {
-    HyperRect rect = HyperRect::array(layout_.shape());
+    // Word-level transpose: dim 0 is innermost both in the dense array
+    // and in the bitline order, so each dim-0 line maps to contiguous
+    // bitline runs (split at tile boundaries). 64-element chunks are
+    // bit-transposed into 32 packed words and deposited one wordline at
+    // a time — one depositFrom per bit plane instead of one writeElement
+    // per element.
+    const auto &shape = layout_.shape();
+    const auto &tsz = layout_.tile();
+    const unsigned nd = static_cast<unsigned>(shape.size());
+    const Coord shape0 = shape[0];
+    const Coord tile0 = tsz[0];
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tsz[d];
+    }
+
+    std::vector<Coord> pt(nd, 0), cell(nd, 0);
     std::size_t i = 0;
-    for (RectIter it(rect); !it.done(); it.next(), ++i) {
-        ComputeSram &s = tile(layout_.tileOf(*it));
-        s.writeFloat(
-            static_cast<unsigned>(layout_.positionInTile(*it)), wl,
-            data[i]);
+    std::array<std::uint64_t, 32> words;
+    for (;;) {
+        std::int64_t outer = 0;
+        for (unsigned d = 1; d < nd; ++d)
+            outer += (pt[d] % tsz[d]) * mult[d];
+        Coord c = 0;
+        while (c < shape0) {
+            const Coord run_end =
+                std::min(shape0, (c / tile0 + 1) * tile0);
+            cell.assign(pt.begin(), pt.end());
+            cell[0] = c;
+            BitMatrix &bm = tile(layout_.tileOf(cell)).bits();
+            unsigned pos = static_cast<unsigned>(outer + c % tile0);
+            while (c < run_end) {
+                const unsigned clen = static_cast<unsigned>(
+                    std::min<Coord>(run_end - c, 64));
+                words.fill(0);
+                for (unsigned e = 0; e < clen; ++e) {
+                    const std::uint32_t v =
+                        std::bit_cast<std::uint32_t>(data[i + e]);
+                    for (unsigned b = 0; b < 32; ++b)
+                        words[b] |= std::uint64_t((v >> b) & 1u) << e;
+                }
+                for (unsigned b = 0; b < 32; ++b)
+                    bm.row(wl + b).depositFrom(&words[b], pos, clen);
+                c += clen;
+                pos += clen;
+                i += clen;
+            }
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < shape[d])
+                break;
+            pt[d] = 0;
+        }
+        if (d >= nd)
+            break;
     }
     infs_assert(i == data.size(), "array size mismatch");
 }
@@ -78,13 +159,62 @@ BitAccurateFabric::loadArray(std::span<const float> data, unsigned wl)
 void
 BitAccurateFabric::storeArray(std::span<float> data, unsigned wl) const
 {
-    HyperRect rect = HyperRect::array(layout_.shape());
-    std::size_t i = 0;
+    // Inverse of loadArray: extract each bit plane of a chunk word-level,
+    // then de-transpose into the dense array.
+    const auto &shape = layout_.shape();
+    const auto &tsz = layout_.tile();
+    const unsigned nd = static_cast<unsigned>(shape.size());
+    const Coord shape0 = shape[0];
+    const Coord tile0 = tsz[0];
     auto *self = const_cast<BitAccurateFabric *>(this);
-    for (RectIter it(rect); !it.done(); it.next(), ++i) {
-        ComputeSram &s = self->tile(layout_.tileOf(*it));
-        data[i] = s.readFloat(
-            static_cast<unsigned>(layout_.positionInTile(*it)), wl);
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tsz[d];
+    }
+
+    std::vector<Coord> pt(nd, 0), cell(nd, 0);
+    std::size_t i = 0;
+    std::array<std::uint64_t, 32> words;
+    for (;;) {
+        std::int64_t outer = 0;
+        for (unsigned d = 1; d < nd; ++d)
+            outer += (pt[d] % tsz[d]) * mult[d];
+        Coord c = 0;
+        while (c < shape0) {
+            const Coord run_end =
+                std::min(shape0, (c / tile0 + 1) * tile0);
+            cell.assign(pt.begin(), pt.end());
+            cell[0] = c;
+            const BitMatrix &bm =
+                self->tile(layout_.tileOf(cell)).bits();
+            unsigned pos = static_cast<unsigned>(outer + c % tile0);
+            while (c < run_end) {
+                const unsigned clen = static_cast<unsigned>(
+                    std::min<Coord>(run_end - c, 64));
+                for (unsigned b = 0; b < 32; ++b)
+                    bm.row(wl + b).extractTo(&words[b], pos, clen);
+                for (unsigned e = 0; e < clen; ++e) {
+                    std::uint32_t v = 0;
+                    for (unsigned b = 0; b < 32; ++b)
+                        v |= std::uint32_t((words[b] >> e) & 1ULL) << b;
+                    data[i + e] = std::bit_cast<float>(v);
+                }
+                c += clen;
+                pos += clen;
+                i += clen;
+            }
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < shape[d])
+                break;
+            pt[d] = 0;
+        }
+        if (d >= nd)
+            break;
     }
 }
 
@@ -97,26 +227,136 @@ BitAccurateFabric::element(const std::vector<Coord> &pt, unsigned wl) const
                        wl);
 }
 
+std::size_t
+BitAccurateFabric::MaskKeyHash::operator()(const MaskKey &k) const
+{
+    // FNV-1a over the key fields.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(k.tile));
+    mix(k.positional ? 1u : 0u);
+    mix(k.dim);
+    mix(static_cast<std::uint64_t>(k.maskLo));
+    mix(static_cast<std::uint64_t>(k.maskHi));
+    for (Coord c : k.lo)
+        mix(static_cast<std::uint64_t>(c));
+    for (Coord c : k.hi)
+        mix(static_cast<std::uint64_t>(c));
+    return static_cast<std::size_t>(h);
+}
+
 BitRow
-BitAccurateFabric::tileMask(const InMemCommand &cmd, std::int64_t t,
-                            bool apply_shift_mask) const
+BitAccurateFabric::buildTileMask(const InMemCommand &cmd, std::int64_t t,
+                                 bool apply_shift_mask) const
 {
     BitRow mask(bitlines_);
     // Clip to this tile's own rect so the walk is O(tile volume), not
     // O(tensor volume) — every cell visited belongs to tile t.
-    HyperRect clipped = cmd.tensor
-                            .intersect(HyperRect::array(layout_.shape()))
-                            .intersect(layout_.tileRect(t));
-    for (RectIter it(clipped); !it.done(); it.next()) {
-        if (apply_shift_mask) {
-            Coord tile_k = layout_.tile()[cmd.dim];
-            Coord pos = (((*it)[cmd.dim] % tile_k) + tile_k) % tile_k;
-            if (pos < cmd.maskLo || pos >= cmd.maskHi)
-                continue;
+    HyperRect clipped =
+        cmd.tensor.intersect(arrayRect_).intersect(layout_.tileRect(t));
+    if (clipped.empty())
+        return mask;
+    const auto &tile = layout_.tile();
+    const unsigned nd = clipped.dims();
+    const Coord tile0 = tile[0];
+
+    // Dim 0 is innermost: consecutive dim-0 coordinates are consecutive
+    // bitlines, so per outer coordinate the selected cells form one
+    // contiguous run set with a single word-level setRange. The clip lies
+    // inside one tile, so pos0 = c - origin = c % tile0 and the Alg. 2
+    // positional window [maskLo, maskHi) intersects the run directly.
+    Coord lo0 = clipped.lo(0), hi0 = clipped.hi(0);
+    if (apply_shift_mask && cmd.dim == 0) {
+        const Coord origin = lo0 - lo0 % tile0;
+        lo0 = std::max(lo0, origin + cmd.maskLo);
+        hi0 = std::min(hi0, origin + cmd.maskHi);
+        if (hi0 <= lo0)
+            return mask;
+    }
+    const unsigned run_lo = static_cast<unsigned>(lo0 % tile0);
+    const unsigned len = static_cast<unsigned>(hi0 - lo0);
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tile[d];
+    }
+
+    // Odometer over the outer dims of the clip (dim 0 collapsed).
+    std::vector<Coord> pt(nd, 0);
+    for (unsigned d = 1; d < nd; ++d)
+        pt[d] = clipped.lo(d);
+    for (;;) {
+        bool selected = true;
+        if (apply_shift_mask && cmd.dim != 0) {
+            const Coord pos = pt[cmd.dim] % tile[cmd.dim];
+            selected = pos >= cmd.maskLo && pos < cmd.maskHi;
         }
-        mask.set(static_cast<unsigned>(layout_.positionInTile(*it)), true);
+        if (selected) {
+            std::int64_t base = run_lo;
+            for (unsigned d = 1; d < nd; ++d)
+                base += (pt[d] % tile[d]) * mult[d];
+            mask.setRange(static_cast<unsigned>(base),
+                          static_cast<unsigned>(base) + len);
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < clipped.hi(d))
+                break;
+            pt[d] = clipped.lo(d);
+        }
+        if (d >= nd)
+            break;
     }
     return mask;
+}
+
+BitRow
+BitAccurateFabric::tileMaskUncached(const InMemCommand &cmd, std::int64_t t,
+                                    bool apply_shift_mask) const
+{
+    return buildTileMask(cmd, t, apply_shift_mask);
+}
+
+const BitRow &
+BitAccurateFabric::tileMask(const InMemCommand &cmd, std::int64_t t,
+                            bool apply_shift_mask) const
+{
+    MaskKey key;
+    key.tile = t;
+    key.positional = apply_shift_mask;
+    if (apply_shift_mask) {
+        key.dim = cmd.dim;
+        key.maskLo = cmd.maskLo;
+        key.maskHi = cmd.maskHi;
+    }
+    const unsigned nd = cmd.tensor.dims();
+    key.lo.reserve(nd);
+    key.hi.reserve(nd);
+    for (unsigned d = 0; d < nd; ++d) {
+        key.lo.push_back(cmd.tensor.lo(d));
+        key.hi.push_back(cmd.tensor.hi(d));
+    }
+    MaskShard &sh = maskShards_[MaskKeyHash{}(key) % kMaskShards];
+    {
+        std::lock_guard<std::mutex> g(sh.mu);
+        auto it = sh.map.find(key);
+        if (it != sh.map.end()) {
+            maskHits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Build outside the lock (cheap, and keeps shard contention low); a
+    // racing builder loses the emplace and both return the first entry.
+    maskMisses_.fetch_add(1, std::memory_order_relaxed);
+    BitRow built = buildTileMask(cmd, t, apply_shift_mask);
+    std::lock_guard<std::mutex> g(sh.mu);
+    auto [it, inserted] = sh.map.emplace(std::move(key), std::move(built));
+    return it->second;
 }
 
 void
@@ -127,7 +367,7 @@ BitAccurateFabric::execCompute(const InMemCommand &cmd)
         layout_.tilesIntersecting(cmd.tensor);
     ensureTiles(tiles);
     forEachTile(tiles, [&](std::int64_t t) {
-        BitRow mask = tileMask(cmd, t, positional);
+        const BitRow &mask = tileMask(cmd, t, positional);
         if (!mask.any())
             return;
         ComputeSram &s = tile(t);
@@ -160,63 +400,312 @@ BitAccurateFabric::execIntraShift(const InMemCommand &cmd)
         layout_.tilesIntersecting(cmd.tensor);
     ensureTiles(tiles);
     forEachTile(tiles, [&](std::int64_t t) {
-        BitRow mask = tileMask(cmd, t, true);
+        const BitRow &mask = tileMask(cmd, t, true);
         if (!mask.any())
             return;
         tile(t).shift(cmd.dtype, cmd.wlA, cmd.wlDst, delta, mask);
     });
 }
 
+void
+BitAccurateFabric::forEachMoveRun(const HyperRect &part, unsigned dim,
+                                  bool window, Coord maskLo, Coord maskHi,
+                                  Coord dist, const MoveRunFn &fn) const
+{
+    if (part.empty())
+        return;
+    const auto &tile = layout_.tile();
+    const unsigned nd = part.dims();
+    const Coord tile0 = tile[0];
+    const Coord shape_d = layout_.shape()[dim];
+
+    // Dim-0 source run in absolute coordinates. @p part lies inside one
+    // tile, so the run is one contiguous bitline span per outer
+    // coordinate; when the move is along dim 0 the positional window and
+    // the destination bound clip the run up front.
+    Coord lo0 = part.lo(0), hi0 = part.hi(0);
+    if (dim == 0) {
+        if (window) {
+            const Coord origin = lo0 - lo0 % tile0;
+            lo0 = std::max(lo0, origin + maskLo);
+            hi0 = std::min(hi0, origin + maskHi);
+        }
+        lo0 = std::max(lo0, -dist);
+        hi0 = std::min(hi0, shape_d - dist);
+        if (hi0 <= lo0)
+            return;
+    }
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tile[d];
+    }
+
+    std::vector<Coord> pt(nd, 0);
+    for (unsigned d = 1; d < nd; ++d)
+        pt[d] = part.lo(d);
+    std::vector<Coord> dst(nd, 0); // Representative destination cell.
+    for (;;) {
+        bool selected = true;
+        Coord dst_k = 0;
+        if (dim != 0) {
+            // Window and destination bound act on the outer coordinate.
+            const Coord pos = pt[dim] % tile[dim];
+            if (window && (pos < maskLo || pos >= maskHi))
+                selected = false;
+            dst_k = pt[dim] + dist;
+            if (dst_k < 0 || dst_k >= shape_d)
+                selected = false; // Discarded outside the rect (§3.2).
+        }
+        if (selected) {
+            std::int64_t outer = 0;
+            for (unsigned d = 1; d < nd; ++d)
+                outer += (pt[d] % tile[d]) * mult[d];
+            if (dim != 0) {
+                // The whole dim-0 run lands in one destination tile.
+                dst.assign(pt.begin(), pt.end());
+                dst[0] = lo0;
+                dst[dim] = dst_k;
+                const std::int64_t dst_outer =
+                    outer - (pt[dim] % tile[dim]) * mult[dim] +
+                    (dst_k % tile[dim]) * mult[dim];
+                fn(static_cast<unsigned>(outer + lo0 % tile0),
+                   layout_.tileOf(dst),
+                   static_cast<unsigned>(dst_outer + lo0 % tile0),
+                   static_cast<unsigned>(hi0 - lo0), false);
+            } else {
+                // Split where the destination crosses a tile boundary.
+                Coord c = lo0;
+                while (c < hi0) {
+                    const Coord dc = c + dist; // >= 0 by the clip above.
+                    const Coord seg_end =
+                        std::min(hi0, (dc / tile0 + 1) * tile0 - dist);
+                    dst.assign(pt.begin(), pt.end());
+                    dst[0] = dc;
+                    fn(static_cast<unsigned>(outer + c % tile0),
+                       layout_.tileOf(dst),
+                       static_cast<unsigned>(outer + dc % tile0),
+                       static_cast<unsigned>(seg_end - c), false);
+                    c = seg_end;
+                }
+            }
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < part.hi(d))
+                break;
+            pt[d] = part.lo(d);
+        }
+        if (d >= nd)
+            break;
+    }
+}
+
+void
+BitAccurateFabric::forEachFillRun(const HyperRect &part, Coord bcDist,
+                                  Coord bcCount, const MoveRunFn &fn) const
+{
+    if (part.empty())
+        return;
+    const auto &tile = layout_.tile();
+    const unsigned nd = part.dims();
+    const Coord tile0 = tile[0];
+    const Coord shape0 = layout_.shape()[0];
+    const Coord lo0 = part.lo(0);
+    infs_assert(part.hi(0) - lo0 == 1, "fill run needs unit dim-0 span");
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tile[d];
+    }
+
+    std::vector<Coord> pt(nd, 0);
+    pt[0] = lo0;
+    for (unsigned d = 1; d < nd; ++d)
+        pt[d] = part.lo(d);
+    std::vector<Coord> dst(nd, 0);
+    for (;;) {
+        std::int64_t outer = 0;
+        for (unsigned d = 1; d < nd; ++d)
+            outer += (pt[d] % tile[d]) * mult[d];
+        const unsigned srcPos =
+            static_cast<unsigned>(outer + lo0 % tile0);
+        // The bcCount replicas of this element tile the contiguous dim-0
+        // destination range [lo0 + bcDist, lo0 + bcDist + bcCount),
+        // clipped to the array and split at tile boundaries.
+        Coord c = std::max<Coord>(0, lo0 + bcDist);
+        const Coord end = std::min(shape0, lo0 + bcDist + bcCount);
+        while (c < end) {
+            const Coord seg_end = std::min(end, (c / tile0 + 1) * tile0);
+            dst.assign(pt.begin(), pt.end());
+            dst[0] = c;
+            fn(srcPos, layout_.tileOf(dst),
+               static_cast<unsigned>(outer + c % tile0),
+               static_cast<unsigned>(seg_end - c), true);
+            c = seg_end;
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < part.hi(d))
+                break;
+            pt[d] = part.lo(d);
+        }
+        if (d >= nd)
+            break;
+    }
+}
+
+void
+BitAccurateFabric::forEachBroadcastRun(const HyperRect &part, unsigned dim,
+                                       Coord span, Coord bcDist,
+                                       Coord bcCount,
+                                       const MoveRunFn &fn) const
+{
+    if (part.empty())
+        return;
+    const auto &tile = layout_.tile();
+    const unsigned nd = part.dims();
+    const Coord tile0 = tile[0];
+    const Coord shape_d = layout_.shape()[dim];
+    const Coord lo0 = part.lo(0), hi0 = part.hi(0);
+
+    std::vector<std::int64_t> mult(nd);
+    std::int64_t m = 1;
+    for (unsigned d = 0; d < nd; ++d) {
+        mult[d] = m;
+        m *= tile[d];
+    }
+
+    std::vector<Coord> pt(nd, 0);
+    pt[0] = lo0;
+    for (unsigned d = 1; d < nd; ++d)
+        pt[d] = part.lo(d);
+    std::vector<Coord> dst(nd, 0);
+    for (;;) {
+        std::int64_t outer = 0;
+        for (unsigned d = 1; d < nd; ++d)
+            outer += (pt[d] % tile[d]) * mult[d];
+        if (dim == 0) {
+            // Replica j is a dim-0 move by bcDist + j*span: clip to the
+            // array and split where the destination crosses a tile edge.
+            for (Coord j = 0; j < bcCount; ++j) {
+                const Coord dist = bcDist + j * span;
+                Coord c = std::max(lo0, -dist);
+                const Coord h = std::min(hi0, shape_d - dist);
+                while (c < h) {
+                    const Coord dc = c + dist;
+                    const Coord seg_end =
+                        std::min(h, (dc / tile0 + 1) * tile0 - dist);
+                    dst.assign(pt.begin(), pt.end());
+                    dst[0] = dc;
+                    fn(static_cast<unsigned>(outer + c % tile0),
+                       layout_.tileOf(dst),
+                       static_cast<unsigned>(outer + dc % tile0),
+                       static_cast<unsigned>(seg_end - c), false);
+                    c = seg_end;
+                }
+            }
+        } else {
+            // The dim-0 run is invariant across replicas; only the dim
+            // component of the destination position changes.
+            const unsigned srcPos =
+                static_cast<unsigned>(outer + lo0 % tile0);
+            const unsigned len = static_cast<unsigned>(hi0 - lo0);
+            const Coord src_k = pt[dim];
+            const std::int64_t outer_wo =
+                outer - (src_k % tile[dim]) * mult[dim] + lo0 % tile0;
+            for (Coord j = 0; j < bcCount; ++j) {
+                const Coord dst_k = src_k + bcDist + j * span;
+                if (dst_k < 0 || dst_k >= shape_d)
+                    continue; // Discarded outside the rect (§3.2).
+                dst.assign(pt.begin(), pt.end());
+                dst[0] = lo0;
+                dst[dim] = dst_k;
+                fn(srcPos, layout_.tileOf(dst),
+                   static_cast<unsigned>(
+                       outer_wo + (dst_k % tile[dim]) * mult[dim]),
+                   len, false);
+            }
+        }
+        unsigned d = 1;
+        for (; d < nd; ++d) {
+            if (++pt[d] < part.hi(d))
+                break;
+            pt[d] = part.lo(d);
+        }
+        if (d >= nd)
+            break;
+    }
+}
+
 namespace {
 
-/** One element in flight between tiles (gather/scatter two-phase). */
-struct PendingWrite {
-    std::int64_t dstPos;    ///< Bitline position in the destination tile.
-    std::uint64_t bits;     ///< Element bits read from the source.
+/** One coalesced bitline span in flight between tiles. */
+struct MoveSegment {
+    std::int64_t dstTile;
+    unsigned dstPos;       ///< First bitline in the destination tile.
+    unsigned len;          ///< Elements in the run.
+    std::size_t arenaOff;  ///< Word offset of the staged bits.
+    bool fill;             ///< Replicate one staged element across len.
 };
 
 } // namespace
 
 void
-BitAccurateFabric::execInterShift(const InMemCommand &cmd)
+BitAccurateFabric::moveRuns(
+    const std::vector<std::int64_t> &src_tiles, const HyperRect &clipped,
+    unsigned bits, unsigned wl_src, unsigned wl_dst,
+    const std::function<void(const HyperRect &, const MoveRunFn &)>
+        &enumerate)
 {
-    // Elements cross tiles: per covered cell, compute the destination
-    // lattice coordinate and copy the element bits (the packed H-tree /
-    // NoC transfer, functionally). Two-phase gather/scatter so
-    // overlapping source/dest slots are safe — and so each phase can fan
-    // out: reads are per-source-tile, writes per-destination-tile, and
-    // two threads never touch the same SRAM array.
-    const Coord tile_k = layout_.tile()[cmd.dim];
-    const Coord dist = cmd.interTileDist * tile_k + cmd.intraTileDist;
-    HyperRect clipped =
-        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
-    std::vector<std::int64_t> src_tiles = layout_.tilesIntersecting(clipped);
-    ensureTiles(src_tiles);
-
-    // Gather (parallel over source tiles; reads only).
-    std::vector<std::vector<std::pair<std::int64_t, PendingWrite>>>
-        gathered(src_tiles.size());
+    // Two-phase gather/scatter so overlapping source/destination slots
+    // are safe — and so each phase can fan out: reads are
+    // per-source-tile, writes per-destination-tile, and two threads never
+    // touch the same SRAM array. Each run moves whole bitline word-spans
+    // (extractTo/depositFrom handle arbitrary alignment, so single
+    // elements take the same path as full lines) through a
+    // per-source-tile staging arena.
+    std::vector<std::vector<MoveSegment>> segs(src_tiles.size());
+    std::vector<std::vector<std::uint64_t>> arenas(src_tiles.size());
     auto gatherTile = [&](std::size_t i) {
-        auto &out = gathered[i];
-        std::int64_t st = src_tiles[i];
+        const std::int64_t st = src_tiles[i];
         HyperRect part = clipped.intersect(layout_.tileRect(st));
-        ComputeSram &s = tile(st);
-        for (RectIter it(part); !it.done(); it.next()) {
-            Coord pos = ((((*it)[cmd.dim]) % tile_k) + tile_k) % tile_k;
-            if (pos < cmd.maskLo || pos >= cmd.maskHi)
-                continue;
-            std::vector<Coord> dst = *it;
-            dst[cmd.dim] += dist;
-            if (dst[cmd.dim] < 0 ||
-                dst[cmd.dim] >= layout_.shape()[cmd.dim])
-                continue; // Discarded outside the bounding rect (§3.2).
-            std::uint64_t bits = s.readElement(
-                static_cast<unsigned>(layout_.positionInTile(*it)),
-                cmd.wlA, cmd.dtype);
-            out.emplace_back(
-                layout_.tileOf(dst),
-                PendingWrite{layout_.positionInTile(dst), bits});
-        }
+        if (part.empty())
+            return;
+        const BitMatrix &bm = tile(st).bits();
+        auto &sv = segs[i];
+        auto &ar = arenas[i];
+        // Broadcasts enumerate the same source span once per replica;
+        // stage each distinct extraction once and share the arena slot.
+        std::unordered_map<std::uint64_t, std::size_t> staged;
+        enumerate(part, [&](unsigned srcPos, std::int64_t dt,
+                            unsigned dstPos, unsigned len, bool fill) {
+            // Fill runs and single elements stage as one packed word
+            // (readElement), full runs as bits word-spans (extractTo).
+            const bool elem = fill || len == 1;
+            const std::uint64_t key =
+                (elem ? 1ULL << 63 : std::uint64_t(len)) |
+                (std::uint64_t(srcPos) << 32);
+            auto [it, fresh] = staged.emplace(key, ar.size());
+            if (fresh) {
+                if (elem) {
+                    ar.push_back(bm.readElement(srcPos, wl_src, bits));
+                } else {
+                    const std::size_t wspan = (len + 63) / 64;
+                    const std::size_t off = ar.size();
+                    ar.resize(off + bits * wspan);
+                    for (unsigned b = 0; b < bits; ++b)
+                        bm.row(wl_src + b)
+                            .extractTo(ar.data() + off + b * wspan,
+                                       srcPos, len);
+                }
+            }
+            sv.push_back({dt, dstPos, len, it->second, fill});
+        });
     };
     if (pool_ != nullptr && !pool_->inlineOnly() && src_tiles.size() > 1) {
         pool_->parallelFor(static_cast<std::int64_t>(src_tiles.size()),
@@ -228,12 +717,15 @@ BitAccurateFabric::execInterShift(const InMemCommand &cmd)
             gatherTile(i);
     }
 
-    // Bucket by destination tile (deterministic: source order preserved;
-    // destination cells are unique, so write order is irrelevant).
-    std::unordered_map<std::int64_t, std::vector<PendingWrite>> buckets;
-    for (auto &per_src : gathered)
-        for (auto &[dt, pw] : per_src)
-            buckets[dt].push_back(pw);
+    // Bucket by destination tile (sequential and deterministic: source
+    // order preserved; destination cells are unique, so write order is
+    // irrelevant).
+    std::unordered_map<std::int64_t,
+                       std::vector<std::pair<std::size_t, std::size_t>>>
+        buckets;
+    for (std::size_t i = 0; i < segs.size(); ++i)
+        for (std::size_t k = 0; k < segs[i].size(); ++k)
+            buckets[segs[i][k].dstTile].emplace_back(i, k);
     std::vector<std::int64_t> dst_tiles;
     dst_tiles.reserve(buckets.size());
     for (auto &[dt, v] : buckets)
@@ -241,78 +733,76 @@ BitAccurateFabric::execInterShift(const InMemCommand &cmd)
     std::sort(dst_tiles.begin(), dst_tiles.end());
     ensureTiles(dst_tiles);
 
-    // Scatter (parallel over destination tiles; writes only).
     forEachTile(dst_tiles, [&](std::int64_t dt) {
-        ComputeSram &s = tile(dt);
-        for (const PendingWrite &pw : buckets.at(dt))
-            s.writeElement(static_cast<unsigned>(pw.dstPos), cmd.wlDst,
-                           cmd.dtype, pw.bits);
+        BitMatrix &bm = tile(dt).bits();
+        for (auto [i, k] : buckets.at(dt)) {
+            const MoveSegment &sg = segs[i][k];
+            if (sg.fill) {
+                const std::uint64_t v = arenas[i][sg.arenaOff];
+                for (unsigned b = 0; b < bits; ++b)
+                    bm.row(wl_dst + b)
+                        .fillRange(sg.dstPos, sg.dstPos + sg.len,
+                                   (v >> b) & 1ULL);
+            } else if (sg.len == 1) {
+                bm.writeElement(sg.dstPos, wl_dst, bits,
+                                arenas[i][sg.arenaOff]);
+            } else {
+                const std::size_t wspan = (sg.len + 63) / 64;
+                for (unsigned b = 0; b < bits; ++b)
+                    bm.row(wl_dst + b)
+                        .depositFrom(
+                            arenas[i].data() + sg.arenaOff + b * wspan,
+                            sg.dstPos, sg.len);
+            }
+        }
     });
+}
+
+void
+BitAccurateFabric::execInterShift(const InMemCommand &cmd)
+{
+    // Elements cross tiles: the packed H-tree / NoC transfer,
+    // functionally, as run-length coalesced segment copies.
+    const Coord tile_k = layout_.tile()[cmd.dim];
+    const Coord dist = cmd.interTileDist * tile_k + cmd.intraTileDist;
+    HyperRect clipped = cmd.tensor.intersect(arrayRect_);
+    std::vector<std::int64_t> src_tiles =
+        layout_.tilesIntersecting(clipped);
+    ensureTiles(src_tiles);
+    moveRuns(src_tiles, clipped, dtypeBits(cmd.dtype), cmd.wlA, cmd.wlDst,
+             [&](const HyperRect &part, const MoveRunFn &emit) {
+                 forEachMoveRun(part, cmd.dim, true, cmd.maskLo,
+                                cmd.maskHi, dist, emit);
+             });
 }
 
 void
 BitAccurateFabric::execBroadcast(const InMemCommand &cmd)
 {
     // Replicate the source subtensor bcCount times along dim with offset
-    // bcDist (Fig 5 semantics), across tiles. Same gather/scatter shape
-    // as execInterShift: destination cells are unique (per replica j the
-    // map is injective and replica ranges are span-disjoint).
-    HyperRect src =
-        cmd.tensor.intersect(HyperRect::array(layout_.shape()));
+    // bcDist (Fig 5 semantics), across tiles. Destination cells are
+    // unique (per replica j the map is injective and replica ranges are
+    // span-disjoint), so the same batched gather/scatter applies with one
+    // run enumeration per replica.
+    HyperRect src = cmd.tensor.intersect(arrayRect_);
     const Coord span = cmd.tensor.size(cmd.dim);
     std::vector<std::int64_t> src_tiles = layout_.tilesIntersecting(src);
     ensureTiles(src_tiles);
-
-    std::vector<std::vector<std::pair<std::int64_t, PendingWrite>>>
-        gathered(src_tiles.size());
-    auto gatherTile = [&](std::size_t i) {
-        auto &out = gathered[i];
-        std::int64_t st = src_tiles[i];
-        HyperRect part = src.intersect(layout_.tileRect(st));
-        ComputeSram &s = tile(st);
-        for (RectIter it(part); !it.done(); it.next()) {
-            std::uint64_t bits = s.readElement(
-                static_cast<unsigned>(layout_.positionInTile(*it)),
-                cmd.wlA, cmd.dtype);
-            for (Coord j = 0; j < cmd.bcCount; ++j) {
-                std::vector<Coord> dst = *it;
-                dst[cmd.dim] += cmd.bcDist + j * span;
-                if (dst[cmd.dim] < 0 ||
-                    dst[cmd.dim] >= layout_.shape()[cmd.dim])
-                    continue;
-                out.emplace_back(
-                    layout_.tileOf(dst),
-                    PendingWrite{layout_.positionInTile(dst), bits});
-            }
-        }
-    };
-    if (pool_ != nullptr && !pool_->inlineOnly() && src_tiles.size() > 1) {
-        pool_->parallelFor(static_cast<std::int64_t>(src_tiles.size()),
-                           [&](std::int64_t i) {
-                               gatherTile(static_cast<std::size_t>(i));
-                           });
-    } else {
-        for (std::size_t i = 0; i < src_tiles.size(); ++i)
-            gatherTile(i);
+    if (cmd.dim == 0 && span == 1) {
+        // Unit-span dim-0 broadcast (the inner-product pattern): all
+        // replicas of one element form a contiguous dim-0 run, scattered
+        // as word-level range fills instead of bcCount separate moves.
+        moveRuns(src_tiles, src, dtypeBits(cmd.dtype), cmd.wlA, cmd.wlDst,
+                 [&](const HyperRect &part, const MoveRunFn &emit) {
+                     forEachFillRun(part, cmd.bcDist, cmd.bcCount, emit);
+                 });
+        return;
     }
-
-    std::unordered_map<std::int64_t, std::vector<PendingWrite>> buckets;
-    for (auto &per_src : gathered)
-        for (auto &[dt, pw] : per_src)
-            buckets[dt].push_back(pw);
-    std::vector<std::int64_t> dst_tiles;
-    dst_tiles.reserve(buckets.size());
-    for (auto &[dt, v] : buckets)
-        dst_tiles.push_back(dt);
-    std::sort(dst_tiles.begin(), dst_tiles.end());
-    ensureTiles(dst_tiles);
-
-    forEachTile(dst_tiles, [&](std::int64_t dt) {
-        ComputeSram &s = tile(dt);
-        for (const PendingWrite &pw : buckets.at(dt))
-            s.writeElement(static_cast<unsigned>(pw.dstPos), cmd.wlDst,
-                           cmd.dtype, pw.bits);
-    });
+    moveRuns(src_tiles, src, dtypeBits(cmd.dtype), cmd.wlA, cmd.wlDst,
+             [&](const HyperRect &part, const MoveRunFn &emit) {
+                 forEachBroadcastRun(part, cmd.dim, span, cmd.bcDist,
+                                     cmd.bcCount, emit);
+             });
 }
 
 void
@@ -372,6 +862,7 @@ BitAccurateFabric::injectAndRepair(const InMemCommand &cmd)
 void
 BitAccurateFabric::executeNoFault(const InMemCommand &cmd)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     switch (cmd.kind) {
       case CmdKind::Compute:
         execCompute(cmd);
@@ -391,6 +882,14 @@ BitAccurateFabric::executeNoFault(const InMemCommand &cmd)
       case CmdKind::Sync:
         break; // Ordering only; handled by the segment walk.
     }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    const auto k = static_cast<std::size_t>(cmd.kind);
+    kindCount_[k].fetch_add(1, std::memory_order_relaxed);
+    kindNanos_[k].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()),
+        std::memory_order_relaxed);
 }
 
 void
@@ -404,10 +903,9 @@ BitAccurateFabric::executeCommand(const InMemCommand &cmd)
 std::vector<std::int64_t>
 BitAccurateFabric::touchedTiles(const InMemCommand &cmd) const
 {
-    const HyperRect array = HyperRect::array(layout_.shape());
     std::vector<std::int64_t> tiles;
     auto add = [&](const HyperRect &r) {
-        auto v = layout_.tilesIntersecting(r.intersect(array));
+        auto v = layout_.tilesIntersecting(r.intersect(arrayRect_));
         tiles.insert(tiles.end(), v.begin(), v.end());
     };
     switch (cmd.kind) {

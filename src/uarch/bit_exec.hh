@@ -18,8 +18,12 @@
 #ifndef INFS_UARCH_BIT_EXEC_HH
 #define INFS_UARCH_BIT_EXEC_HH
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "bitserial/compute_sram.hh"
@@ -30,6 +34,23 @@
 namespace infs {
 
 class FaultInjector;
+
+/**
+ * Host-side execution counters for one fabric: per-command-kind counts and
+ * wall time (the CI regression-triage breakdown) plus tile-mask cache
+ * effectiveness. Wall time is summed across concurrently executing lanes,
+ * so it is CPU time spent in each kind, not elapsed time.
+ */
+struct FabricStats {
+    struct Kind {
+        std::uint64_t count = 0;
+        double wallMs = 0.0;
+    };
+    /** Indexed by static_cast<size_t>(CmdKind). */
+    std::array<Kind, 6> byKind{};
+    std::uint64_t maskCacheHits = 0;
+    std::uint64_t maskCacheMisses = 0;
+};
 
 /** One compute SRAM per tile of a tiled layout, plus command execution. */
 class BitAccurateFabric
@@ -100,6 +121,25 @@ class BitAccurateFabric
      * destinations) command @p cmd reads or writes. Sorted, unique. */
     std::vector<std::int64_t> touchedTiles(const InMemCommand &cmd) const;
 
+    /** Snapshot of the per-command-kind counters and cache stats. */
+    FabricStats stats() const;
+    void resetStats();
+
+    /**
+     * Per-tile bitline mask of cmd.tensor cells (shift-mask aware).
+     * Memoized: keyed by (tile, tensor bounds, positional window), built
+     * word-level on first use, served from a sharded thread-safe cache
+     * afterwards (same discipline as the JIT lowering memo). The layout
+     * is immutable after construction, so entries never go stale; the
+     * returned reference is stable for the fabric's lifetime.
+     */
+    const BitRow &tileMask(const InMemCommand &cmd, std::int64_t t,
+                           bool apply_shift_mask) const;
+
+    /** Fresh, uncached build of the same mask (differential tests). */
+    BitRow tileMaskUncached(const InMemCommand &cmd, std::int64_t t,
+                            bool apply_shift_mask) const;
+
   private:
     /** Deterministically pre-sampled SRAM upset for one command. */
     struct PlannedFault {
@@ -122,13 +162,64 @@ class BitAccurateFabric
     /** Bitline index delta for a unit step along @p dim inside a tile. */
     std::int64_t strideInTile(unsigned dim) const;
 
-    /** Per-tile bitline mask of cmd.tensor cells (shift-mask aware). */
-    BitRow tileMask(const InMemCommand &cmd, std::int64_t t,
-                    bool apply_shift_mask) const;
+    /** Word-level mask construction backing tileMask (setRange runs over
+     * the innermost contiguous dimension). */
+    BitRow buildTileMask(const InMemCommand &cmd, std::int64_t t,
+                         bool apply_shift_mask) const;
 
     /** Allocate every tile in @p tiles (parallel loops must not race the
      * lazy allocation in tile()). */
     void ensureTiles(const std::vector<std::int64_t> &tiles);
+
+    /**
+     * emit(srcPos, dstTile, dstPos, len, fill) for one coalesced run.
+     * fill == false: @p len consecutive source elements starting at
+     * srcPos land at dstPos. fill == true: the single source element at
+     * srcPos replicates across @p len consecutive destinations (the
+     * H tree's one-to-many mode, scattered as word-level range fills).
+     */
+    using MoveRunFn = std::function<void(unsigned, std::int64_t, unsigned,
+                                         unsigned, bool)>;
+
+    /**
+     * Enumerate the maximal coalesced runs of a tile-clipped part moved
+     * by @p dist along @p dim: each run is contiguous in source bitlines
+     * (dim 0 is innermost) and lands contiguously in exactly one
+     * destination tile. @p window applies the Alg. 2 positional shift
+     * mask [maskLo, maskHi); destinations outside the array shape along
+     * @p dim are discarded (§3.2).
+     */
+    void forEachMoveRun(const HyperRect &part, unsigned dim, bool window,
+                        Coord maskLo, Coord maskHi, Coord dist,
+                        const MoveRunFn &fn) const;
+
+    /** Broadcast special case (dim 0, unit span): per outer coordinate
+     * the bcCount replicas of one source element tile a contiguous dim-0
+     * destination run — emit fill runs split at tile boundaries. */
+    void forEachFillRun(const HyperRect &part, Coord bcDist, Coord bcCount,
+                        const MoveRunFn &fn) const;
+
+    /** Generic broadcast enumeration: all bcCount replica moves of a
+     * tile-clipped part in ONE odometer pass (the per-replica loop sits
+     * inside, so scratch vectors are built once per part, not once per
+     * replica — broadcasts have bcCount in the thousands). */
+    void forEachBroadcastRun(const HyperRect &part, unsigned dim,
+                             Coord span, Coord bcDist, Coord bcCount,
+                             const MoveRunFn &fn) const;
+
+    /**
+     * Batched gather/scatter of whole bitline word-spans between tiles
+     * (replaces the per-element PendingWrite path). @p enumerate is
+     * called once per source tile with that tile's clipped part and an
+     * emit callback; staged segment bits flow through per-source-tile
+     * arenas so overlapping source/destination slots stay safe and both
+     * phases fan out across the pool.
+     */
+    void moveRuns(const std::vector<std::int64_t> &src_tiles,
+                  const HyperRect &clipped, unsigned bits, unsigned wl_src,
+                  unsigned wl_dst,
+                  const std::function<void(const HyperRect &,
+                                           const MoveRunFn &)> &enumerate);
 
     void execCompute(const InMemCommand &cmd);
     void execIntraShift(const InMemCommand &cmd);
@@ -140,14 +231,48 @@ class BitAccurateFabric
     void forEachTile(const std::vector<std::int64_t> &tiles,
                      const std::function<void(std::int64_t)> &fn);
 
+    /** Everything that identifies one memoized tile mask. */
+    struct MaskKey {
+        std::int64_t tile = 0;
+        bool positional = false;
+        unsigned dim = 0;
+        Coord maskLo = 0;
+        Coord maskHi = 0;
+        std::vector<Coord> lo; ///< cmd.tensor bounds (clip is derived).
+        std::vector<Coord> hi;
+
+        bool operator==(const MaskKey &o) const = default;
+    };
+
+    struct MaskKeyHash {
+        std::size_t operator()(const MaskKey &k) const;
+    };
+
+    /** Sharded cache (the PR 3 JIT-memo discipline: hash-picked shard,
+     * per-shard lock, node-stable entries). */
+    static constexpr std::size_t kMaskShards = 16;
+    struct MaskShard {
+        std::mutex mu;
+        std::unordered_map<MaskKey, BitRow, MaskKeyHash> map;
+    };
+
     TiledLayout layout_;
     unsigned wordlines_;
     unsigned bitlines_;
+    /** Hoisted HyperRect::array(layout_.shape()) — one per fabric, not
+     * one per command execution. */
+    HyperRect arrayRect_;
     FaultInjector *fault_ = nullptr;
     ThreadPool *pool_ = nullptr;
     bool hazardCheck_ = false;
     // Lazily allocated tiles (large layouts touch few in tests).
     mutable std::vector<std::unique_ptr<ComputeSram>> tiles_;
+
+    mutable std::array<MaskShard, kMaskShards> maskShards_;
+    mutable std::atomic<std::uint64_t> maskHits_{0};
+    mutable std::atomic<std::uint64_t> maskMisses_{0};
+    mutable std::array<std::atomic<std::uint64_t>, 6> kindCount_{};
+    mutable std::array<std::atomic<std::uint64_t>, 6> kindNanos_{};
 };
 
 } // namespace infs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Differential tests for the sharded tile-mask memo (DESIGN.md §10):
+ * every cached mask must equal a fresh uncached build of the same key —
+ * including under concurrent lookups from the bank-parallel thread pool,
+ * where distinct threads race to insert the same shard entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jit/commands.hh"
+#include "sim/rng.hh"
+#include "sim/thread_pool.hh"
+#include "uarch/bit_exec.hh"
+
+namespace infs {
+namespace {
+
+InMemCommand
+randomMaskCmd(Rng &rng, const std::vector<Coord> &shape,
+              const std::vector<Coord> &tsz)
+{
+    const unsigned nd = static_cast<unsigned>(shape.size());
+    InMemCommand cmd;
+    std::vector<Coord> lo(nd), hi(nd);
+    for (unsigned d = 0; d < nd; ++d) {
+        lo[d] = static_cast<Coord>(
+            rng.next() % static_cast<std::uint64_t>(shape[d]));
+        hi[d] = lo[d] + 1 +
+                static_cast<Coord>(
+                    rng.next() %
+                    static_cast<std::uint64_t>(shape[d] - lo[d]));
+    }
+    cmd.tensor = HyperRect(lo, hi);
+    cmd.dim = static_cast<unsigned>(rng.next() % nd);
+    // Positional window inside the tile (may be empty or full).
+    const auto tk = static_cast<std::uint64_t>(tsz[cmd.dim]);
+    cmd.maskLo = static_cast<Coord>(rng.next() % tk);
+    cmd.maskHi = cmd.maskLo + 1 + static_cast<Coord>(rng.next() % tk);
+    return cmd;
+}
+
+TEST(MaskCache, CachedEqualsUncachedRandomized)
+{
+    Rng rng(31);
+    for (int round = 0; round < 8; ++round) {
+        const unsigned nd = 1 + static_cast<unsigned>(rng.next() % 2);
+        std::vector<Coord> shape(nd), tsz(nd);
+        for (unsigned d = 0; d < nd; ++d) {
+            shape[d] = 8 + static_cast<Coord>(rng.next() % 40);
+            tsz[d] = 2 + static_cast<Coord>(
+                             rng.next() % std::min<Coord>(shape[d], 12));
+        }
+        TiledLayout lay(shape, tsz);
+        BitAccurateFabric fab(lay);
+        for (int c = 0; c < 20; ++c) {
+            InMemCommand cmd = randomMaskCmd(rng, shape, tsz);
+            for (bool shift_mask : {false, true})
+                for (std::int64_t t = 0; t < lay.numTiles(); ++t) {
+                    const BitRow &cached =
+                        fab.tileMask(cmd, t, shift_mask);
+                    ASSERT_EQ(cached,
+                              fab.tileMaskUncached(cmd, t, shift_mask))
+                        << "round " << round << " cmd " << c << " tile "
+                        << t << " shift_mask " << shift_mask;
+                }
+        }
+    }
+}
+
+TEST(MaskCache, RepeatLookupsHitAndStayStable)
+{
+    TiledLayout lay({64, 48}, {16, 8});
+    BitAccurateFabric fab(lay);
+    Rng rng(32);
+    InMemCommand cmd = randomMaskCmd(rng, {64, 48}, {16, 8});
+
+    const BitRow first = fab.tileMask(cmd, 3, true);
+    const FabricStats cold = fab.stats();
+    EXPECT_GT(cold.maskCacheMisses, 0u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fab.tileMask(cmd, 3, true), first);
+    const FabricStats warm = fab.stats();
+    EXPECT_EQ(warm.maskCacheMisses, cold.maskCacheMisses);
+    EXPECT_EQ(warm.maskCacheHits, cold.maskCacheHits + 10);
+}
+
+TEST(MaskCache, ConcurrentLookupsAreDifferentiallyCorrect)
+{
+    // Many threads hammer the same small key set through one shared
+    // fabric: racing inserts must converge to one stable entry per key,
+    // and every returned mask must equal its uncached build.
+    TiledLayout lay({96, 40}, {16, 10});
+    BitAccurateFabric fab(lay);
+    Rng rng(33);
+    std::vector<InMemCommand> cmds;
+    for (int c = 0; c < 12; ++c)
+        cmds.push_back(randomMaskCmd(rng, {96, 40}, {16, 10}));
+
+    ThreadPool pool(8);
+    const std::int64_t jobs =
+        static_cast<std::int64_t>(cmds.size()) * lay.numTiles() * 4;
+    std::vector<int> bad(static_cast<std::size_t>(jobs), 0);
+    pool.parallelFor(jobs, [&](std::int64_t j) {
+        const auto c = static_cast<std::size_t>(j) % cmds.size();
+        const std::int64_t t =
+            (j / static_cast<std::int64_t>(cmds.size())) % lay.numTiles();
+        const bool shift_mask = (j & 1) != 0;
+        const BitRow &cached = fab.tileMask(cmds[c], t, shift_mask);
+        if (!(cached == fab.tileMaskUncached(cmds[c], t, shift_mask)))
+            bad[static_cast<std::size_t>(j)] = 1;
+    });
+    for (std::int64_t j = 0; j < jobs; ++j)
+        ASSERT_EQ(bad[static_cast<std::size_t>(j)], 0) << "job " << j;
+
+    // Each distinct (cmd, tile, shift_mask) key missed at most a few
+    // times (benign insert races), then everything hit.
+    const FabricStats s = fab.stats();
+    EXPECT_EQ(s.maskCacheHits + s.maskCacheMisses,
+              static_cast<std::uint64_t>(jobs));
+    EXPECT_GT(s.maskCacheHits, s.maskCacheMisses);
+}
+
+} // namespace
+} // namespace infs

@@ -94,18 +94,31 @@ registry()
     return entries;
 }
 
-/** Per-workload measurement row. */
+/** Per-workload measurement row (medians over the timed repeats). */
 struct Row {
     std::string name;
     double wallMs = 0.0;
+    double wallMsMin = 0.0;
+    double wallMsMax = 0.0;
     double execWallMs = 0.0;
     double fabricWallMs = 0.0;
+    double fabricWallMsMin = 0.0;
+    double fabricWallMsMax = 0.0;
     std::uint64_t simCycles = 0;
     std::uint64_t jitTicks = 0;
     double nocHopBytes = 0.0;
     std::uint64_t checksum = 0;
     double speedup = 1.0;
+    FabricStats fabric; ///< Per-command-kind breakdown (last repeat).
 };
+
+/** Lower median of a non-empty sample (deterministic for even sizes). */
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[(v.size() - 1) / 2];
+}
 
 double
 msSince(std::chrono::steady_clock::time_point t0)
@@ -138,7 +151,7 @@ constexpr std::int64_t kFabricVolumeCap = 1 << 18;
  */
 double
 fabricPass(const Workload &w, const SystemConfig &cfg, ThreadPool *pool,
-           std::uint64_t &checksum)
+           std::uint64_t &checksum, FabricStats &stats)
 {
     LayoutHints hints;
     bool have_tdfg = false;
@@ -203,56 +216,116 @@ fabricPass(const Workload &w, const SystemConfig &cfg, ThreadPool *pool,
                 h = fnv1a(h, std::bit_cast<std::uint32_t>(v));
         }
         checksum = h;
+        stats = fab.stats();
         return msSince(t0);
     }
     return 0.0;
 }
 
-/** One full measurement of a workload at a given thread count. */
+/**
+ * One full measurement of a workload at a given thread count: one untimed
+ * warmup iteration, then @p repeat timed iterations whose lower medians
+ * (and min/max) populate the row. Simulated quantities and the checksum
+ * are identical every iteration by construction — verified here.
+ */
 Row
-benchOne(const Scenario &sc, bool quick, unsigned threads)
+benchOne(const Scenario &sc, bool quick, unsigned threads, unsigned repeat)
 {
     // Full runtime behavior: preparation, JIT, Eq. 2 adaptivity all
     // included (assumeTransposed stays at the factory default).
     Workload w = quick ? sc.quick() : sc.full();
     SystemConfig cfg = testSystemConfig();
     cfg.hostThreads = threads;
-    InfinitySystem sys(cfg);
 
     Row row;
     row.name = sc.name;
 
-    auto t0 = std::chrono::steady_clock::now();
-    ExecStats st = Executor(sys, Paradigm::InfS).run(w);
-    row.execWallMs = msSince(t0);
+    std::vector<double> execMs, fabricMs, wallMs;
+    for (unsigned r = 0; r <= repeat; ++r) {
+        // Fresh system per iteration: persistent state (the JIT memo)
+        // must not make later repeats cheaper than the first.
+        InfinitySystem sys(cfg);
+        auto t0 = std::chrono::steady_clock::now();
+        ExecStats st = Executor(sys, Paradigm::InfS).run(w);
+        const double exec_ms = msSince(t0);
 
-    row.simCycles = static_cast<std::uint64_t>(st.cycles);
-    row.jitTicks = static_cast<std::uint64_t>(st.jitCycles);
-    for (double v : st.nocHopBytes)
-        row.nocHopBytes += v;
+        std::uint64_t checksum = 0;
+        FabricStats fs;
+        const double fabric_ms =
+            fabricPass(w, cfg, &sys.pool(), checksum, fs);
 
-    row.fabricWallMs = fabricPass(w, cfg, &sys.pool(), row.checksum);
-    row.wallMs = row.execWallMs + row.fabricWallMs;
+        if (r == 0) {
+            // Warmup: record the deterministic quantities, discard time.
+            row.simCycles = static_cast<std::uint64_t>(st.cycles);
+            row.jitTicks = static_cast<std::uint64_t>(st.jitCycles);
+            for (double v : st.nocHopBytes)
+                row.nocHopBytes += v;
+            row.checksum = checksum;
+            continue;
+        }
+        if (checksum != row.checksum ||
+            static_cast<std::uint64_t>(st.cycles) != row.simCycles) {
+            std::fprintf(stderr,
+                         "%s: non-deterministic repeat (checksum or "
+                         "sim_cycles changed)\n",
+                         sc.name);
+            std::exit(1);
+        }
+        execMs.push_back(exec_ms);
+        fabricMs.push_back(fabric_ms);
+        wallMs.push_back(exec_ms + fabric_ms);
+        row.fabric = fs;
+    }
+
+    row.execWallMs = median(execMs);
+    row.fabricWallMs = median(fabricMs);
+    row.fabricWallMsMin = *std::min_element(fabricMs.begin(), fabricMs.end());
+    row.fabricWallMsMax = *std::max_element(fabricMs.begin(), fabricMs.end());
+    row.wallMs = median(wallMs);
+    row.wallMsMin = *std::min_element(wallMs.begin(), wallMs.end());
+    row.wallMsMax = *std::max_element(wallMs.begin(), wallMs.end());
+
+    if (row.checksum == 0) {
+        // No fabric pass covered this scenario (near-memory-only result
+        // or untileable layout): hash the executor's functional output
+        // arrays instead so every scenario carries a bit-exactness
+        // signal. Untimed — functional mode is not the measured path.
+        InfinitySystem sys(cfg);
+        ArrayStore store;
+        Executor(sys, Paradigm::InfS).run(w, &store);
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (std::size_t id = 0; id < store.size(); ++id)
+            for (float v : store.data(static_cast<ArrayId>(id)))
+                h = fnv1a(h, std::bit_cast<std::uint32_t>(v));
+        row.checksum = h;
+    }
     return row;
 }
 
 void
 writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
-          unsigned threads)
+          unsigned threads, unsigned repeat)
 {
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"infs-bench-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"infs-bench-v2\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"repeat\": %u,\n", repeat);
     std::fprintf(f, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::fprintf(f, "    {\n");
         std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
         std::fprintf(f, "      \"wall_ms\": %.3f,\n", r.wallMs);
+        std::fprintf(f, "      \"wall_ms_min\": %.3f,\n", r.wallMsMin);
+        std::fprintf(f, "      \"wall_ms_max\": %.3f,\n", r.wallMsMax);
         std::fprintf(f, "      \"exec_wall_ms\": %.3f,\n", r.execWallMs);
         std::fprintf(f, "      \"fabric_wall_ms\": %.3f,\n",
                      r.fabricWallMs);
+        std::fprintf(f, "      \"fabric_wall_ms_min\": %.3f,\n",
+                     r.fabricWallMsMin);
+        std::fprintf(f, "      \"fabric_wall_ms_max\": %.3f,\n",
+                     r.fabricWallMsMax);
         std::fprintf(f, "      \"sim_cycles\": %llu,\n",
                      static_cast<unsigned long long>(r.simCycles));
         std::fprintf(f, "      \"jit_ticks\": %llu,\n",
@@ -260,6 +333,21 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
         std::fprintf(f, "      \"noc_hop_bytes\": %.1f,\n", r.nocHopBytes);
         std::fprintf(f, "      \"checksum\": \"0x%016llx\",\n",
                      static_cast<unsigned long long>(r.checksum));
+        std::fprintf(f, "      \"fabric_breakdown\": {\n");
+        for (std::size_t k = 0; k < r.fabric.byKind.size(); ++k) {
+            std::fprintf(
+                f, "        \"%s\": {\"count\": %llu, \"wall_ms\": %.3f},\n",
+                cmdKindName(static_cast<CmdKind>(k)),
+                static_cast<unsigned long long>(r.fabric.byKind[k].count),
+                r.fabric.byKind[k].wallMs);
+        }
+        std::fprintf(f, "        \"mask_cache_hits\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.fabric.maskCacheHits));
+        std::fprintf(f, "        \"mask_cache_misses\": %llu\n",
+                     static_cast<unsigned long long>(
+                         r.fabric.maskCacheMisses));
+        std::fprintf(f, "      },\n");
         std::fprintf(f, "      \"speedup_vs_1t\": %.3f\n", r.speedup);
         std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
     }
@@ -270,12 +358,14 @@ int
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--quick|--full] [--threads N] [--json out.json] "
-        "[--list] [workload...]\n"
+        "usage: %s [--quick|--full] [--threads N] [--repeat N] "
+        "[--json out.json] [--list] [workload...]\n"
         "Benchmark the seed workloads; default --quick over the whole "
         "registry.\n"
         "--threads 0 uses all hardware threads; simulated results are "
-        "identical for any value.\n",
+        "identical for any value.\n"
+        "--repeat N (default 3) runs N timed iterations after one "
+        "untimed warmup and reports medians plus min/max.\n",
         argv0);
     return 2;
 }
@@ -287,6 +377,7 @@ main(int argc, char **argv)
 {
     bool quick = true;
     unsigned threads = 0;
+    unsigned repeat = 3;
     std::string json_path;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
@@ -297,6 +388,10 @@ main(int argc, char **argv)
             quick = false;
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (repeat == 0)
+                repeat = 1;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--list") {
@@ -317,11 +412,11 @@ main(int argc, char **argv)
             std::find(names.begin(), names.end(), sc.name) == names.end())
             continue;
         ++matched;
-        Row row = benchOne(sc, quick, threads);
+        Row row = benchOne(sc, quick, threads, repeat);
         if (threads != 1) {
             // Wall-clock baseline for the speedup column; simulated
             // results are identical by construction.
-            Row base = benchOne(sc, quick, 1);
+            Row base = benchOne(sc, quick, 1, repeat);
             if (row.wallMs > 0.0)
                 row.speedup = base.wallMs / row.wallMs;
         }
@@ -345,7 +440,7 @@ main(int argc, char **argv)
             std::printf("cannot open %s for writing\n", json_path.c_str());
             return 2;
         }
-        writeJson(f, rows, quick, threads);
+        writeJson(f, rows, quick, threads, repeat);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }
