@@ -2,39 +2,55 @@
 """Compare two infs-bench JSON files and fail on simulated regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
+                     [--expect-backend NAME]
 
 Two gates, both on machine-independent quantities (DESIGN.md section 10):
 
 - `sim_cycles` must not regress beyond --max-regress percent; simulated
-  cycles are deterministic across machines and thread counts, so any
+  cycles are deterministic across machines, thread counts, and execution
+  backends (the Executor timing model is backend-independent), so any
   change is a real model change, not noise.
 - `checksum` must be byte-identical whenever both files report a
-  non-zero value. Checksums fingerprint the bit-accurate fabric result
-  (or, from schema v2 on, the functional executor's output tensors when
-  no fabric pass ran), so any drift is a correctness bug, never noise.
-  A zero on either side means that file's harness predates checksum
-  coverage for the scenario; the pair is reported but does not gate.
+  non-zero value AND both files' backends produce bit-certified sums.
+  The fabric and functional backends are certified byte-identical
+  (DESIGN.md section 12, tests/core/test_backend_diff.cc), so any pair
+  drawn from {fabric, functional} gates; the timing backend reports
+  functional-store fallback hashes that are not fabric bit patterns, so
+  rows from a timing run are reported but never gate. A zero on either
+  side means that file's harness predates checksum coverage for the
+  scenario; the pair is reported but does not gate.
 
-Wall-clock fields are reported for context but never gate. Accepts both
-the infs-bench-v1 and infs-bench-v2 schemas (v2 adds repeat/median
-timing and per-command-kind fabric breakdowns; the gated fields are
-identical). Exit status: 0 within budget, 1 regression or checksum
-mismatch, 2 usage/schema error.
+Wall-clock fields are reported for context but never gate. Accepts the
+infs-bench-v1, -v2, and -v3 schemas (v2 added repeat/median timing and
+fabric breakdowns; v3 adds the top-level `backend` and per-row
+`backend_sim_cycles`). Files older than v3 are fabric-backend by
+definition. --expect-backend fails fast when CURRENT was produced by a
+different backend than the pipeline intended (a mis-wired CI lane would
+otherwise silently skip the checksum gate). Exit status: 0 within
+budget, 1 regression or checksum mismatch, 2 usage/schema error.
 """
 
 import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("infs-bench-v1", "infs-bench-v2")
+KNOWN_SCHEMAS = ("infs-bench-v1", "infs-bench-v2", "infs-bench-v3")
+
+# Backends whose checksums are certified identical to the bit-accurate
+# fabric (see tests/core/test_backend_diff.cc).
+BIT_CERTIFIED_BACKENDS = ("fabric", "functional")
 
 
 def load(path):
+    """Return (backend_name, {workload_name: row}) for one bench file."""
     with open(path) as f:
         data = json.load(f)
     if data.get("schema") not in KNOWN_SCHEMAS:
-        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
-    return {w["name"]: w for w in data["workloads"]}
+        print(f"{path}: unexpected schema {data.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    backend = data.get("backend", "fabric")
+    return backend, {w["name"]: w for w in data["workloads"]}
 
 
 def parse_checksum(row):
@@ -51,10 +67,26 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--max-regress", type=float, default=15.0,
                     help="max sim_cycles increase in percent (default 15)")
+    ap.add_argument("--expect-backend", metavar="NAME",
+                    help="fail (exit 2) unless CURRENT was produced by "
+                         "this backend")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base_backend, base = load(args.baseline)
+    cur_backend, cur = load(args.current)
+
+    if args.expect_backend and cur_backend != args.expect_backend:
+        print(f"{args.current}: backend {cur_backend!r}, expected "
+              f"{args.expect_backend!r}", file=sys.stderr)
+        sys.exit(2)
+
+    gate_checksums = (base_backend in BIT_CERTIFIED_BACKENDS
+                      and cur_backend in BIT_CERTIFIED_BACKENDS)
+    if base_backend != cur_backend:
+        print(f"comparing backends: {base_backend} (baseline) vs "
+              f"{cur_backend} (current)"
+              + ("" if gate_checksums
+                 else " — checksums reported, not gated"))
 
     failed = []
     for name, b in sorted(base.items()):
@@ -76,6 +108,10 @@ def main():
             cks = "checksum n/a"
         elif bsum == 0 or csum == 0:
             cks = "checksum uncovered"
+        elif not gate_checksums:
+            cks = ("checksum match (ungated)" if bsum == csum
+                   else "checksum differs (ungated: backends not "
+                        "bit-comparable)")
         elif bsum != csum:
             failed.append(f"{name}: checksum {b['checksum']} -> "
                           f"{c['checksum']} (bit drift)")

@@ -5,7 +5,11 @@
 # analyzer over every seed workload.
 #
 # Usage: scripts/check.sh [--plain-only|--sanitize-only|--lint-only|--lint]
-#                         [--threads N]
+#                         [--tier1] [--threads N]
+#
+# --tier1 builds once and runs only the ctest tier1 label — the fast
+# per-PR suite (functional/timing backends plus the differential subset);
+# the full bit-accurate sweeps stay on the default full run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +20,7 @@ lint=no
 while [[ $# -gt 0 ]]; do
     case $1 in
         --plain-only|--sanitize-only) mode=$1 ;;
+        --tier1) mode=tier1 ;;
         --lint) lint=yes ;;
         --lint-only) lint=yes; mode=lint-only ;;
         --threads)
@@ -23,7 +28,7 @@ while [[ $# -gt 0 ]]; do
             jobs=$2
             shift ;;
         *) echo "usage: $0 [--plain-only|--sanitize-only|--lint-only|--lint]" \
-                "[--threads N]" >&2
+                "[--tier1] [--threads N]" >&2
            exit 2 ;;
     esac
     shift
@@ -59,6 +64,15 @@ run_lint() {
     echo "-- infs-verify over all seed workloads (level=full)"
     build/tools/infs-verify --all --level=full
 }
+
+if [[ $mode == tier1 ]]; then
+    echo "== tier-1 build =="
+    cmake -B build -S .
+    cmake --build build -j "$jobs"
+    ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
+    echo "check.sh: tier-1 suite passed"
+    exit 0
+fi
 
 if [[ $lint == yes ]]; then
     echo "== lint =="

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Tests for bench_diff.py: schema acceptance, gating, backend rules.
+
+Written as unittest.TestCase so both `python3 -m unittest` (what CI runs;
+no extra packages) and `pytest scripts/` (local convenience) discover
+them. Each test drives bench_diff.py as a subprocess — the exit status
+IS the contract CI depends on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_diff.py")
+
+
+def row(name, sim_cycles=1000, checksum="0x00000000deadbeef",
+        wall_ms=1.0, **extra):
+    r = {"name": name, "sim_cycles": sim_cycles, "checksum": checksum,
+         "wall_ms": wall_ms}
+    r.update(extra)
+    return r
+
+
+def bench_file(rows, schema="infs-bench-v3", backend="fabric"):
+    data = {"schema": schema, "mode": "quick", "threads": 1, "repeat": 1,
+            "workloads": rows}
+    if backend is not None:
+        data["backend"] = backend
+    if schema == "infs-bench-v1":
+        # v1 predates the repeat/backend fields entirely.
+        data.pop("repeat")
+        data.pop("backend", None)
+    return data
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, fname, data):
+        path = os.path.join(self.dir.name, fname)
+        with open(path, "w") as f:
+            json.dump(data, f)
+        return path
+
+    def run_diff(self, base, cur, *flags):
+        return subprocess.run(
+            [sys.executable, SCRIPT,
+             self.write("base.json", base), self.write("cur.json", cur),
+             *flags],
+            capture_output=True, text=True)
+
+    # ---- schema acceptance -------------------------------------------
+
+    def test_v1_schema_accepted(self):
+        data = bench_file([row("vec_add")], schema="infs-bench-v1")
+        self.assertEqual(self.run_diff(data, data).returncode, 0)
+
+    def test_v2_schema_accepted(self):
+        data = bench_file([row("vec_add")], schema="infs-bench-v2",
+                          backend=None)
+        self.assertEqual(self.run_diff(data, data).returncode, 0)
+
+    def test_v3_schema_accepted(self):
+        data = bench_file([row("vec_add", backend_sim_cycles=42)])
+        self.assertEqual(self.run_diff(data, data).returncode, 0)
+
+    def test_unknown_schema_rejected(self):
+        good = bench_file([row("vec_add")])
+        bad = bench_file([row("vec_add")], schema="infs-bench-v99")
+        res = self.run_diff(good, bad)
+        self.assertEqual(res.returncode, 2)
+        self.assertIn("unexpected schema", res.stderr + res.stdout)
+
+    def test_v2_baseline_vs_v3_current_mix(self):
+        # Upgrading the bench tool must not invalidate old baselines.
+        base = bench_file([row("vec_add")], schema="infs-bench-v2",
+                          backend=None)
+        cur = bench_file([row("vec_add")])
+        self.assertEqual(self.run_diff(base, cur).returncode, 0)
+
+    # ---- sim_cycles gate ---------------------------------------------
+
+    def test_sim_cycles_regression_fails(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=1200)])  # +20%
+        res = self.run_diff(base, cur)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("sim_cycles", res.stderr)
+
+    def test_sim_cycles_within_budget_passes(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=1100)])  # +10%
+        self.assertEqual(self.run_diff(base, cur).returncode, 0)
+
+    def test_max_regress_flag_tightens_gate(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=1100)])
+        res = self.run_diff(base, cur, "--max-regress", "5")
+        self.assertEqual(res.returncode, 1)
+
+    def test_sim_cycles_gated_even_across_backends(self):
+        # The Executor timing model is backend-independent, so cycles
+        # gate no matter which backend produced the file.
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=2000)],
+                         backend="timing")
+        self.assertEqual(self.run_diff(base, cur).returncode, 1)
+
+    def test_missing_workload_fails(self):
+        base = bench_file([row("vec_add"), row("dwt2d")])
+        cur = bench_file([row("vec_add")])
+        res = self.run_diff(base, cur)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing", res.stderr)
+
+    # ---- checksum gate ------------------------------------------------
+
+    def test_checksum_mismatch_fails_same_backend(self):
+        base = bench_file([row("vec_add", checksum="0x1111")])
+        cur = bench_file([row("vec_add", checksum="0x2222")])
+        res = self.run_diff(base, cur)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("bit drift", res.stderr)
+
+    def test_checksum_gated_fabric_vs_functional(self):
+        # fabric vs functional checksums are bit-certified identical, so
+        # a drift between them is a real bug and must gate.
+        base = bench_file([row("vec_add", checksum="0x1111")],
+                          backend="fabric")
+        cur = bench_file([row("vec_add", checksum="0x2222")],
+                         backend="functional")
+        self.assertEqual(self.run_diff(base, cur).returncode, 1)
+
+    def test_checksum_matching_fabric_vs_functional_passes(self):
+        base = bench_file([row("vec_add")], backend="fabric")
+        cur = bench_file([row("vec_add")], backend="functional")
+        self.assertEqual(self.run_diff(base, cur).returncode, 0)
+
+    def test_checksum_not_gated_vs_timing_backend(self):
+        # Timing-backend rows carry functional-store fallback hashes,
+        # not fabric bit patterns: report, don't gate.
+        base = bench_file([row("vec_add", checksum="0x1111")])
+        cur = bench_file([row("vec_add", checksum="0x2222")],
+                         backend="timing")
+        res = self.run_diff(base, cur)
+        self.assertEqual(res.returncode, 0)
+        self.assertIn("ungated", res.stdout)
+
+    def test_zero_checksum_reported_not_gated(self):
+        base = bench_file([row("vec_add", checksum="0x0")])
+        cur = bench_file([row("vec_add", checksum="0x2222")])
+        res = self.run_diff(base, cur)
+        self.assertEqual(res.returncode, 0)
+        self.assertIn("uncovered", res.stdout)
+
+    # ---- backend expectations ----------------------------------------
+
+    def test_expect_backend_match_passes(self):
+        data = bench_file([row("vec_add")], backend="functional")
+        res = self.run_diff(data, data, "--expect-backend", "functional")
+        self.assertEqual(res.returncode, 0)
+
+    def test_expect_backend_mismatch_fails(self):
+        data = bench_file([row("vec_add")], backend="fabric")
+        res = self.run_diff(data, data, "--expect-backend", "functional")
+        self.assertEqual(res.returncode, 2)
+        self.assertIn("expected", res.stderr + res.stdout)
+
+    def test_pre_v3_files_default_to_fabric_backend(self):
+        data = bench_file([row("vec_add")], schema="infs-bench-v2",
+                          backend=None)
+        res = self.run_diff(data, data, "--expect-backend", "fabric")
+        self.assertEqual(res.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

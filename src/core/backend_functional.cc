@@ -1,0 +1,434 @@
+/**
+ * @file
+ * The functional backend: executes a lowered in-memory program at word
+ * level — one float per lattice cell per wordline slot — instead of
+ * simulating bit-serial wordline arithmetic. Every command mirrors the
+ * bit fabric's cell-level semantics exactly (masks, positional windows,
+ * boundary clipping, scratch immediates), and fp32 arithmetic uses the
+ * same native float expressions ComputeSram::fpBinary uses per bitline,
+ * so results are byte-identical to the fabric — including the junk in
+ * boundary and intermediate cells that full-lattice checksums hash.
+ *
+ * Constructs outside the value model (1-bit CmpLt rows, non-fp32 dtypes,
+ * unaligned wordlines) fall back to the bit fabric for the whole job, so
+ * the backend never silently diverges.
+ */
+
+#include "core/backend.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tdfg/hyperrect.hh"
+
+namespace infs {
+
+namespace {
+
+/** Word-level replay fabric: per-slot dense float lattices. */
+class WordFabric
+{
+  public:
+    WordFabric(const TiledLayout &layout, unsigned wordlines,
+               unsigned bitlines)
+        : layout_(layout), wordlines_(wordlines), bitlines_(bitlines),
+          arrayRect_(HyperRect::array(layout.shape()))
+    {
+        volume_ = 1;
+        for (Coord s : layout_.shape())
+            volume_ *= s;
+        slots_.assign(wordlines_ / 32,
+                      std::vector<float>(
+                          static_cast<std::size_t>(volume_), 0.0f));
+    }
+
+    void
+    loadArray(std::span<const float> data, unsigned wl)
+    {
+        // The dense array order is the lattice row-major order (dim 0
+        // innermost) — the bit fabric's loadArray/storeArray transpose is
+        // an identity at word level.
+        auto &s = slot(wl);
+        infs_assert(data.size() == s.size(), "array size mismatch");
+        std::copy(data.begin(), data.end(), s.begin());
+    }
+
+    void
+    storeArray(std::span<float> out, unsigned wl) const
+    {
+        const auto &s = slots_[slotIndex(wl)];
+        infs_assert(out.size() == s.size(), "array size mismatch");
+        std::copy(s.begin(), s.end(), out.begin());
+    }
+
+    /** Replay @p prog; nullopt on success, an Error when a command falls
+     * outside the value model (caller falls back to the bit fabric). */
+    std::optional<Error>
+    execute(const InMemProgram &prog)
+    {
+        if (wordlines_ % 32 != 0)
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend needs 32-bit-aligned "
+                         "wordlines"};
+        for (const InMemCommand &cmd : prog.commands) {
+            std::optional<Error> err;
+            switch (cmd.kind) {
+              case CmdKind::Compute:
+                err = execCompute(cmd);
+                break;
+              case CmdKind::IntraShift:
+                err = execIntraShift(cmd);
+                break;
+              case CmdKind::InterShift:
+                err = execInterShift(cmd);
+                break;
+              case CmdKind::BroadcastBl:
+                execBroadcastBl(cmd);
+                break;
+              case CmdKind::BroadcastVal:
+                err = execBroadcastVal(cmd);
+                break;
+              case CmdKind::Sync:
+                break; // Ordering only.
+            }
+            if (err)
+                return err;
+        }
+        return std::nullopt;
+    }
+
+  private:
+    std::size_t
+    slotIndex(unsigned wl) const
+    {
+        infs_assert(wl % 32 == 0 && wl / 32 < slots_.size(),
+                    "wordline %u is not a valid fp32 slot", wl);
+        return wl / 32;
+    }
+    std::vector<float> &slot(unsigned wl) { return slots_[slotIndex(wl)]; }
+
+    bool
+    fp32Slots(const InMemCommand &cmd) const
+    {
+        if (cmd.dtype != DType::Fp32)
+            return false;
+        if (cmd.wlA % 32 != 0 || cmd.wlDst % 32 != 0)
+            return false;
+        if (cmd.kind == CmdKind::Compute && !cmd.useImm &&
+            cmd.wlB % 32 != 0)
+            return false;
+        return true;
+    }
+
+    std::size_t
+    index(const std::vector<Coord> &pt) const
+    {
+        const auto &shape = layout_.shape();
+        std::int64_t idx = 0;
+        for (unsigned d = static_cast<unsigned>(shape.size()); d-- > 0;)
+            idx = idx * shape[d] + pt[d];
+        return static_cast<std::size_t>(idx);
+    }
+
+    /** Odometer over the cells of @p r (dim 0 innermost). */
+    template <class Fn>
+    void
+    forEachCell(const HyperRect &r, Fn &&fn) const
+    {
+        if (r.empty())
+            return;
+        const unsigned nd = r.dims();
+        std::vector<Coord> pt(nd);
+        for (unsigned d = 0; d < nd; ++d)
+            pt[d] = r.lo(d);
+        for (;;) {
+            fn(pt);
+            unsigned d = 0;
+            for (; d < nd; ++d) {
+                if (++pt[d] < r.hi(d))
+                    break;
+                pt[d] = r.lo(d);
+            }
+            if (d >= nd)
+                break;
+        }
+    }
+
+    std::optional<Error>
+    execCompute(const InMemCommand &cmd)
+    {
+        if (!fp32Slots(cmd))
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend: non-fp32-slot compute"};
+        const bool unary = !cmd.useImm && cmd.wlA == cmd.wlB &&
+                           (cmd.op == BitOp::Relu || cmd.op == BitOp::Copy);
+        switch (cmd.op) {
+          case BitOp::Add:
+          case BitOp::Sub:
+          case BitOp::Mul:
+          case BitOp::Div:
+          case BitOp::Max:
+          case BitOp::Min:
+          case BitOp::AndB:
+          case BitOp::OrB:
+          case BitOp::XorB:
+            break;
+          case BitOp::Relu:
+          case BitOp::Copy:
+            if (!unary)
+                return Error{ErrCode::InvalidArgument,
+                             "functional backend: binary relu/copy"};
+            break;
+          default:
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend: op outside the value model"};
+        }
+        const bool positional = cmd.maskHi > cmd.maskLo;
+        const Coord tile_d = layout_.tile()[cmd.dim];
+        auto &a = slot(cmd.wlA);
+        auto &dst = slot(cmd.wlDst);
+        // The hardware stages immediates through the top scratch slot
+        // (ComputeSram::execBinaryImm); mirror the staging write so that
+        // slot's lattice contents stay bit-identical too.
+        const float imm = static_cast<float>(cmd.imm);
+        std::vector<float> *scratch = nullptr;
+        std::vector<float> *b = nullptr;
+        if (cmd.useImm)
+            scratch = &slot(wordlines_ - 32);
+        else
+            b = &slot(cmd.wlB);
+        HyperRect clipped = cmd.tensor.intersect(arrayRect_);
+        forEachCell(clipped, [&](const std::vector<Coord> &pt) {
+            if (positional) {
+                const Coord pos = pt[cmd.dim] % tile_d;
+                if (pos < cmd.maskLo || pos >= cmd.maskHi)
+                    return;
+            }
+            const std::size_t i = index(pt);
+            const float av = a[i];
+            float bv = 0.0f;
+            if (cmd.useImm) {
+                (*scratch)[i] = imm;
+                bv = imm;
+            } else {
+                bv = (*b)[i];
+            }
+            if (unary) {
+                dst[i] = cmd.op == BitOp::Copy
+                             ? av
+                             : (std::bit_cast<std::uint32_t>(av) >> 31
+                                    ? 0.0f
+                                    : av);
+                return;
+            }
+            float r = 0.0f;
+            switch (cmd.op) {
+              case BitOp::Add: r = av + bv; break;
+              case BitOp::Sub: r = av - bv; break;
+              case BitOp::Mul: r = av * bv; break;
+              case BitOp::Div: r = av / bv; break;
+              case BitOp::Max: r = av > bv ? av : bv; break;
+              case BitOp::Min: r = av < bv ? av : bv; break;
+              case BitOp::AndB:
+                r = std::bit_cast<float>(
+                    std::bit_cast<std::uint32_t>(av) &
+                    std::bit_cast<std::uint32_t>(bv));
+                break;
+              case BitOp::OrB:
+                r = std::bit_cast<float>(
+                    std::bit_cast<std::uint32_t>(av) |
+                    std::bit_cast<std::uint32_t>(bv));
+                break;
+              case BitOp::XorB:
+                r = std::bit_cast<float>(
+                    std::bit_cast<std::uint32_t>(av) ^
+                    std::bit_cast<std::uint32_t>(bv));
+                break;
+              default: break; // Filtered above.
+            }
+            dst[i] = r;
+        });
+        return std::nullopt;
+    }
+
+    std::optional<Error>
+    execIntraShift(const InMemCommand &cmd)
+    {
+        if (!fp32Slots(cmd))
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend: non-fp32-slot shift"};
+        // ComputeSram::shift moves masked bitlines by delta within each
+        // array; mirror the bitline arithmetic exactly, dropping
+        // destinations beyond the array edge or outside the lattice
+        // (invisible cells, same as the hardware).
+        std::int64_t stride = 1;
+        const auto &tile = layout_.tile();
+        for (unsigned d = 0; d < cmd.dim; ++d)
+            stride *= tile[d];
+        const std::int64_t delta = cmd.intraTileDist * stride;
+        const Coord tile_d = tile[cmd.dim];
+        const std::int64_t tvol = layout_.tileVolume();
+        const unsigned nd = layout_.dims();
+        const auto &shape = layout_.shape();
+        auto &src = slot(cmd.wlA);
+        auto &dst = slot(cmd.wlDst);
+
+        std::vector<std::pair<std::size_t, float>> moves;
+        std::vector<Coord> dpt(nd);
+        HyperRect clipped = cmd.tensor.intersect(arrayRect_);
+        forEachCell(clipped, [&](const std::vector<Coord> &pt) {
+            // The positional window (Alg. 2) is always applied to shifts.
+            const Coord pos = pt[cmd.dim] % tile_d;
+            if (pos < cmd.maskLo || pos >= cmd.maskHi)
+                return;
+            const std::int64_t bl = layout_.positionInTile(pt);
+            const std::int64_t nbl = bl + delta;
+            if (nbl < 0 || nbl >= tvol ||
+                nbl >= static_cast<std::int64_t>(bitlines_))
+                return; // Shifted off the array edge.
+            // Decompose the destination bitline back into a lattice cell
+            // of the same tile; partial-tile cells beyond the shape are
+            // invisible.
+            const HyperRect trect = layout_.tileRect(layout_.tileOf(pt));
+            std::int64_t rest = nbl;
+            bool visible = true;
+            for (unsigned d = 0; d < nd; ++d) {
+                const Coord local = rest % tile[d];
+                rest /= tile[d];
+                dpt[d] = trect.lo(d) - trect.lo(d) % tile[d] + local;
+                if (dpt[d] >= shape[d])
+                    visible = false;
+            }
+            if (visible)
+                moves.emplace_back(index(dpt), src[index(pt)]);
+        });
+        for (const auto &[di, v] : moves)
+            dst[di] = v;
+        return std::nullopt;
+    }
+
+    std::optional<Error>
+    execInterShift(const InMemCommand &cmd)
+    {
+        if (!fp32Slots(cmd))
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend: non-fp32-slot shift"};
+        const Coord tile_d = layout_.tile()[cmd.dim];
+        const Coord dist = cmd.interTileDist * tile_d + cmd.intraTileDist;
+        const Coord shape_d = layout_.shape()[cmd.dim];
+        auto &src = slot(cmd.wlA);
+        auto &dst = slot(cmd.wlDst);
+
+        std::vector<std::pair<std::size_t, float>> moves;
+        std::vector<Coord> dpt(layout_.dims());
+        HyperRect clipped = cmd.tensor.intersect(arrayRect_);
+        forEachCell(clipped, [&](const std::vector<Coord> &pt) {
+            const Coord pos = pt[cmd.dim] % tile_d;
+            if (pos < cmd.maskLo || pos >= cmd.maskHi)
+                return;
+            const Coord dst_k = pt[cmd.dim] + dist;
+            if (dst_k < 0 || dst_k >= shape_d)
+                return; // Discarded outside the rect (§3.2).
+            dpt.assign(pt.begin(), pt.end());
+            dpt[cmd.dim] = dst_k;
+            moves.emplace_back(index(dpt), src[index(pt)]);
+        });
+        for (const auto &[di, v] : moves)
+            dst[di] = v;
+        return std::nullopt;
+    }
+
+    void
+    execBroadcastBl(const InMemCommand &cmd)
+    {
+        const Coord span = cmd.tensor.size(cmd.dim);
+        const Coord shape_d = layout_.shape()[cmd.dim];
+        auto &src = slot(cmd.wlA);
+        auto &dst = slot(cmd.wlDst);
+
+        std::vector<std::pair<std::size_t, float>> moves;
+        std::vector<Coord> dpt(layout_.dims());
+        HyperRect clipped = cmd.tensor.intersect(arrayRect_);
+        forEachCell(clipped, [&](const std::vector<Coord> &pt) {
+            const float v = src[index(pt)];
+            for (Coord j = 0; j < cmd.bcCount; ++j) {
+                const Coord dst_k = pt[cmd.dim] + cmd.bcDist + j * span;
+                if (dst_k < 0 || dst_k >= shape_d)
+                    continue; // Discarded outside the rect (§3.2).
+                dpt.assign(pt.begin(), pt.end());
+                dpt[cmd.dim] = dst_k;
+                moves.emplace_back(index(dpt), v);
+            }
+        });
+        for (const auto &[di, v] : moves)
+            dst[di] = v;
+    }
+
+    std::optional<Error>
+    execBroadcastVal(const InMemCommand &cmd)
+    {
+        if (cmd.dtype != DType::Fp32 || cmd.wlDst % 32 != 0)
+            return Error{ErrCode::InvalidArgument,
+                         "functional backend: non-fp32-slot immediate"};
+        // The hardware writes every bitline of every tile (fullMask); the
+        // lattice-visible part is the whole lattice.
+        auto &dst = slot(cmd.wlDst);
+        std::fill(dst.begin(), dst.end(), static_cast<float>(cmd.imm));
+        return std::nullopt;
+    }
+
+    const TiledLayout &layout_;
+    unsigned wordlines_;
+    unsigned bitlines_;
+    HyperRect arrayRect_;
+    std::int64_t volume_ = 0;
+    std::vector<std::vector<float>> slots_;
+};
+
+class FunctionalBackend final : public ExecBackend
+{
+  public:
+    using ExecBackend::ExecBackend;
+
+    ExecBackendKind kind() const override
+    {
+        return ExecBackendKind::Functional;
+    }
+
+    BackendResult runJob(const BackendJob &job) override
+    {
+        infs_assert(job.prog != nullptr,
+                    "functional backend needs a program");
+        BackendResult res;
+        WordFabric fab(job.layout, cfg_.l3.wordlines, cfg_.l3.bitlines);
+        seedJobInputs(fab, job);
+        if (auto err = fab.execute(*job.prog)) {
+            // Outside the value model: keep the fidelity contract by
+            // running the bit fabric for this job instead of diverging.
+            infs_warn("functional backend: %s; falling back to the bit "
+                      "fabric for this job",
+                      err->str().c_str());
+            BitAccurateFabric bit(job.layout, cfg_.l3.wordlines,
+                                  cfg_.l3.bitlines);
+            bit.setThreadPool(pool_);
+            seedJobInputs(bit, job);
+            bit.execute(*job.prog);
+            res.checksum = checksumJobOutputs(bit, job);
+            res.bitAccurate = true;
+            return res;
+        }
+        res.checksum = checksumJobOutputs(fab, job);
+        res.bitAccurate = true;
+        return res;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ExecBackend>
+makeFunctionalBackend(const SystemConfig &cfg)
+{
+    return std::make_unique<FunctionalBackend>(cfg);
+}
+
+} // namespace infs

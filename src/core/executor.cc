@@ -29,9 +29,10 @@ Executor::run(const Workload &w, ArrayStore *store)
 {
     sys_.resetStats();
     if (store != nullptr)
-        runFunctional(w, *store);
+        backend_->runWorkloadFunctional(w, *store);
 
     ExecStats st;
+    st.backend = sys_.config().backend;
     // Total element ops (for the in-memory fraction dots of Fig 14).
     for (const Phase &p : w.phases)
         st.totalOps +=
@@ -59,26 +60,6 @@ Executor::run(const Workload &w, ArrayStore *store)
     }
     finalizeStats(st);
     return st;
-}
-
-void
-Executor::runFunctional(const Workload &w, ArrayStore &store)
-{
-    if (w.setup)
-        w.setup(store);
-    for (const Phase &p : w.phases) {
-        for (std::uint64_t it = 0; it < p.iterations; ++it) {
-            if (p.functionalFallback) {
-                // Overrides the interpreter when set (it may stage data
-                // and invoke the interpreter itself).
-                p.functionalFallback(store, it);
-            } else if (p.buildTdfg) {
-                TdfgGraph g = p.buildTdfg(it);
-                TdfgInterpreter interp(store);
-                interp.run(g);
-            }
-        }
-    }
 }
 
 Tick

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/workload.hh"
 #include "sim/expected.hh"
 #include "uarch/system.hh"
@@ -23,6 +24,10 @@ namespace infs {
 /** Aggregate execution statistics for one workload run. */
 struct ExecStats {
     Tick cycles = 0;
+
+    /** Which execution backend produced this run's in-memory results
+     * (SystemConfig::backend). */
+    ExecBackendKind backend = ExecBackendKind::Fabric;
 
     // Fig 14 cycle breakdown.
     Tick dramCycles = 0;        ///< Fetch + transpose from/to DRAM.
@@ -79,8 +84,10 @@ class Executor
 {
   public:
     Executor(InfinitySystem &sys, Paradigm paradigm)
-        : sys_(sys), paradigm_(paradigm)
+        : sys_(sys), paradigm_(paradigm),
+          backend_(makeBackend(sys.config().backend, sys.config()))
     {
+        backend_->setThreadPool(&sys.pool());
     }
 
     /**
@@ -92,6 +99,9 @@ class Executor
     ExecStats run(const Workload &w, ArrayStore *store = nullptr);
 
     Paradigm paradigm() const { return paradigm_; }
+
+    /** The execution backend this run drives (SystemConfig::backend). */
+    ExecBackend &backend() { return *backend_; }
 
   private:
     void runBase(const Workload &w, ExecStats &st, unsigned threads);
@@ -114,11 +124,11 @@ class Executor
                        std::uint64_t first_iter, std::uint64_t iters,
                        const Error &err);
 
-    void runFunctional(const Workload &w, ArrayStore &store);
     void finalizeStats(ExecStats &st) const;
 
     InfinitySystem &sys_;
     Paradigm paradigm_;
+    std::unique_ptr<ExecBackend> backend_;
 };
 
 } // namespace infs

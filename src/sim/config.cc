@@ -29,6 +29,32 @@ verifyLevelName(VerifyLevel v)
     return "?";
 }
 
+const char *
+backendName(ExecBackendKind b)
+{
+    switch (b) {
+      case ExecBackendKind::Fabric: return "fabric";
+      case ExecBackendKind::Functional: return "functional";
+      case ExecBackendKind::Timing: return "timing";
+    }
+    return "?";
+}
+
+bool
+parseBackendName(const std::string &name, ExecBackendKind &out)
+{
+    if (name == "fabric") {
+        out = ExecBackendKind::Fabric;
+    } else if (name == "functional") {
+        out = ExecBackendKind::Functional;
+    } else if (name == "timing") {
+        out = ExecBackendKind::Timing;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 SystemConfig
 defaultSystemConfig()
 {

@@ -143,6 +143,24 @@ enum class VerifyLevel : std::uint8_t {
 /** Human-readable verify-level name ("off"/"graphs"/"full"). */
 const char *verifyLevelName(VerifyLevel v);
 
+/**
+ * Which execution backend runs lowered in-memory jobs (src/core/backend.hh).
+ * The enum lives here, next to VerifyLevel, so SystemConfig can carry the
+ * selection without the sim layer depending on core.
+ */
+enum class ExecBackendKind : std::uint8_t {
+    Fabric,     ///< Bit-accurate SRAM fabric: ground truth for bits.
+    Functional, ///< Word-level command replay: bit-identical, no bit-serial.
+    Timing,     ///< Cycle replay only: sim_cycles/NoC/energy, no bits.
+};
+
+/** Human-readable backend name ("fabric"/"functional"/"timing"). */
+const char *backendName(ExecBackendKind b);
+
+/** Parse a backend name; returns false (leaving @p out untouched) on an
+ * unknown name so CLIs can fail loudly with a usage message. */
+bool parseBackendName(const std::string &name, ExecBackendKind &out);
+
 /** Tensor controller / JIT runtime parameters. */
 struct TensorConfig {
     unsigned lotEntries = 16;          ///< Layout override table regions.
@@ -173,6 +191,11 @@ struct SystemConfig {
     FaultConfig fault;
     /** Static-analysis level for graphs and lowered command streams. */
     VerifyLevel verifyLevel = VerifyLevel::Off;
+
+    /** Execution backend for lowered in-memory jobs. Fabric is the
+     * bit-accurate ground truth; functional and timing are the fast
+     * backends certified against it by tests/core/test_backend_diff.cc. */
+    ExecBackendKind backend = ExecBackendKind::Fabric;
 
     /**
      * Host threads the simulator's parallel engine may use (bank-parallel

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The shared seed-scenario registry: the 17 bench scenarios with their
+ * tier-1 (quick) and paper-scale (full) factories. infs-bench,
+ * infs-verify, and the backend differential tests all consume this one
+ * table so scenario names and sizes cannot drift between tools.
+ */
+
+#ifndef INFS_WORKLOADS_REGISTRY_HH
+#define INFS_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/workload.hh"
+
+namespace infs {
+
+/** One named scenario with its two size points. */
+struct BenchScenario {
+    const char *name;
+    std::function<Workload()> quick; ///< Tier-1 sizes (CI smoke).
+    std::function<Workload()> full;  ///< Larger sizes for real timing.
+};
+
+/** The 17 seed scenarios. */
+const std::vector<BenchScenario> &benchRegistry();
+
+/** Lookup by name; nullptr when unknown. */
+const BenchScenario *findScenario(const std::string &name);
+
+} // namespace infs
+
+#endif // INFS_WORKLOADS_REGISTRY_HH

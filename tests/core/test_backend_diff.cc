@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Differential tests for the execution backends (DESIGN.md §12): the
+ * fidelity contract is that for the SAME planned job,
+ *  - the functional backend's checksum is byte-identical to the fabric's
+ *    (word-level replay == bit-serial fabric, bit for bit), and
+ *  - the timing backend's sim_cycles equal the fabric's replay exactly
+ *    (both run the identical cycle-replay path).
+ *
+ * Compiled twice: the default target covers a fast scenario subset plus
+ * randomized tDFGs (tier1 + differential labels); with INFS_DIFF_FULL it
+ * covers all 17 registry scenarios and a deeper random sweep
+ * (differential + slow labels, nightly CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/backend.hh"
+#include "jit/jit.hh"
+#include "mem/address_map.hh"
+#include "sim/rng.hh"
+#include "workloads/registry.hh"
+
+namespace infs {
+namespace {
+
+constexpr std::int64_t kDiffVolumeCap = 1 << 18;
+
+/** Run @p job on all three backends and pin the fidelity contract. */
+void
+expectBackendsAgree(const BackendJob &job, const std::string &what)
+{
+    SystemConfig cfg = testSystemConfig();
+    BackendResult fab = makeBackend(ExecBackendKind::Fabric, cfg)
+                            ->runJob(job);
+    BackendResult fun = makeBackend(ExecBackendKind::Functional, cfg)
+                            ->runJob(job);
+    BackendResult tim = makeBackend(ExecBackendKind::Timing, cfg)
+                            ->runJob(job);
+
+    EXPECT_TRUE(fab.bitAccurate) << what;
+    EXPECT_TRUE(fab.hasTiming) << what;
+    EXPECT_TRUE(fun.bitAccurate) << what;
+    EXPECT_TRUE(tim.hasTiming) << what;
+
+    // Bits: functional must reproduce the fabric byte for byte.
+    EXPECT_EQ(fun.checksum, fab.checksum) << what;
+    // Time: the replay is a pure function of (program, layout, config),
+    // so fabric and timing must report identical cycles — and traffic
+    // and energy, which are sums over the same command walk.
+    EXPECT_EQ(tim.simCycles, fab.simCycles) << what;
+    EXPECT_EQ(tim.nocHopBytes, fab.nocHopBytes) << what;
+    EXPECT_EQ(tim.energyJoules, fab.energyJoules) << what;
+}
+
+/** Plan the scenario's primary job and diff it; some scenarios plan no
+ * job (near-memory only or untileable) — vacuously consistent. */
+void
+diffScenario(const char *name, bool full_size = false)
+{
+    SCOPED_TRACE(name);
+    const BenchScenario *sc = findScenario(name);
+    ASSERT_NE(sc, nullptr);
+    Workload w = full_size ? sc->full() : sc->quick();
+    SystemConfig cfg = testSystemConfig();
+    auto job = planPrimaryJob(w, cfg, nullptr, kDiffVolumeCap);
+    if (!job)
+        return;
+    expectBackendsAgree(*job, name);
+}
+
+#ifdef INFS_DIFF_FULL
+
+// Nightly: every registry scenario, bit for bit and cycle for cycle.
+TEST(BackendDiffFull, AllScenarios)
+{
+    for (const BenchScenario &sc : benchRegistry())
+        diffScenario(sc.name);
+}
+
+// And again at paper-scale sizes (those under the volume cap): the
+// boundary-tile and multi-bank paths only open up at full size.
+TEST(BackendDiffFull, FullSizeScenarios)
+{
+    for (const BenchScenario &sc : benchRegistry())
+        diffScenario(sc.name, /*full_size=*/true);
+}
+
+#else // !INFS_DIFF_FULL
+
+// Per-PR tier-1 subset: cheap scenarios spanning the command mix —
+// aligned compute (vec_add), tree reduction (array_sum), intra/inter
+// shifts (stencil1d), 2-D shifts + subsampling (dwt2d), broadcast +
+// reduce (mm_outer), and the iterative kmeans inner loop.
+TEST(BackendDiff, FastScenarioSubset)
+{
+    for (const char *name : {"vec_add", "array_sum", "stencil1d", "dwt2d",
+                             "mm_outer", "kmeans_inner"})
+        diffScenario(name);
+}
+
+#endif // INFS_DIFF_FULL
+
+/**
+ * Randomized tDFGs: layered graphs over a 1-D lattice mixing computes,
+ * immediates, moves, broadcasts, and a final optional reduce — lowered
+ * with the real JIT and diffed across backends. Seeds are fixed, so
+ * failures replay exactly.
+ */
+void
+diffRandomGraphs(std::uint64_t seed_base, unsigned count)
+{
+    SystemConfig cfg = testSystemConfig();
+    AddressMap map(cfg.l3, cfg.noc.memCtrls);
+    JitCompiler jit(cfg);
+    const Coord n = 1024;
+    const std::vector<BitOp> ops = {BitOp::Add, BitOp::Sub, BitOp::Mul,
+                                    BitOp::Max, BitOp::Min};
+    unsigned lowered = 0;
+    for (unsigned g_i = 0; g_i < count; ++g_i) {
+        Rng rng(seed_base + g_i);
+        TdfgGraph g(1, "rand" + std::to_string(g_i));
+        std::vector<NodeId> pool;
+        const unsigned n_inputs = 2 + rng.nextBounded(2);
+        for (unsigned a = 0; a < n_inputs; ++a)
+            pool.push_back(g.tensor(static_cast<ArrayId>(a),
+                                    HyperRect::interval(0, n)));
+        const unsigned n_ops = 3 + rng.nextBounded(5);
+        for (unsigned k = 0; k < n_ops; ++k) {
+            NodeId a = pool[rng.nextBounded(pool.size())];
+            switch (rng.nextBounded(4)) {
+            case 0: { // Binary compute of two live nodes.
+                NodeId b = pool[rng.nextBounded(pool.size())];
+                pool.push_back(g.compute(ops[rng.nextBounded(ops.size())],
+                                         {a, b}));
+                break;
+            }
+            case 1: // Compute against an immediate constant.
+                pool.push_back(
+                    g.compute(ops[rng.nextBounded(ops.size())],
+                              {a, g.constant(0.25 * (1 + rng.nextBounded(
+                                                          16)))}));
+                break;
+            case 2: { // Shift by a mixed intra/inter-tile distance.
+                Coord dist = static_cast<Coord>(rng.nextBounded(40)) - 20;
+                pool.push_back(g.move(a, 0, dist == 0 ? 1 : dist));
+                break;
+            }
+            default: { // Short-range broadcast along dim 0.
+                Coord cnt = 2 + static_cast<Coord>(rng.nextBounded(3));
+                pool.push_back(g.broadcast(a, 0, 0, cnt));
+                break;
+            }
+            }
+        }
+        NodeId out = pool.back();
+        if (rng.nextBounded(3) == 0)
+            out = g.reduce(pool.back(), BitOp::Add, 0);
+        g.output(out, static_cast<ArrayId>(n_inputs));
+
+        TiledLayout lay({n}, {256});
+        auto prog_or = jit.tryLower(g, lay, map);
+        if (!prog_or)
+            continue; // Constraint refusals are fine; diff what lowers.
+        ++lowered;
+        BackendJob job;
+        job.layout = lay;
+        job.prog = *prog_or;
+        job.volume = n;
+        expectBackendsAgree(job, g.name());
+    }
+    // The generator must actually exercise the contract, not skip
+    // everything through lowering refusals.
+    EXPECT_GE(lowered, count / 2) << "random generator mostly unlowerable";
+}
+
+#ifdef INFS_DIFF_FULL
+TEST(BackendDiffFull, RandomizedGraphs)
+{
+    diffRandomGraphs(/*seed_base=*/7000, /*count=*/24);
+}
+#else
+TEST(BackendDiff, RandomizedGraphs)
+{
+    diffRandomGraphs(/*seed_base=*/4000, /*count=*/8);
+}
+#endif
+
+/** The registry itself: stable names, both factories callable. */
+TEST(BackendDiff, RegistryIsComplete)
+{
+    EXPECT_EQ(benchRegistry().size(), 17u);
+    EXPECT_NE(findScenario("vec_add"), nullptr);
+    EXPECT_NE(findScenario("pointnet_msg"), nullptr);
+    EXPECT_EQ(findScenario("no_such_scenario"), nullptr);
+}
+
+} // namespace
+} // namespace infs

@@ -46,6 +46,35 @@ TEST(SystemConfig, TestConfigKeepsShape)
     EXPECT_LT(cfg.l3.totalBytes(), defaultSystemConfig().l3.totalBytes());
 }
 
+TEST(SystemConfig, BackendNamesRoundTrip)
+{
+    for (ExecBackendKind k :
+         {ExecBackendKind::Fabric, ExecBackendKind::Functional,
+          ExecBackendKind::Timing}) {
+        ExecBackendKind parsed;
+        ASSERT_TRUE(parseBackendName(backendName(k), parsed));
+        EXPECT_EQ(parsed, k);
+    }
+    EXPECT_STREQ(backendName(ExecBackendKind::Fabric), "fabric");
+    EXPECT_STREQ(backendName(ExecBackendKind::Functional), "functional");
+    EXPECT_STREQ(backendName(ExecBackendKind::Timing), "timing");
+}
+
+TEST(SystemConfig, UnknownBackendNameRejected)
+{
+    ExecBackendKind parsed = ExecBackendKind::Timing;
+    EXPECT_FALSE(parseBackendName("cycle_exact", parsed));
+    EXPECT_FALSE(parseBackendName("", parsed));
+    // A failed parse leaves the out-parameter untouched.
+    EXPECT_EQ(parsed, ExecBackendKind::Timing);
+}
+
+TEST(SystemConfig, DefaultBackendIsFabric)
+{
+    EXPECT_EQ(testSystemConfig().backend, ExecBackendKind::Fabric);
+    EXPECT_EQ(defaultSystemConfig().backend, ExecBackendKind::Fabric);
+}
+
 TEST(SystemConfig, SummaryMentionsKeyNumbers)
 {
     auto s = defaultSystemConfig().summary();

@@ -1,23 +1,27 @@
 /**
  * @file
  * infs-bench: one CLI driving the seed-workload registry through the
- * timing executor and the bit-accurate fabric, emitting a stable JSON
- * schema for CI regression gating (scripts/bench_diff.py).
+ * timing executor and a selectable execution backend, emitting a stable
+ * JSON schema for CI regression gating (scripts/bench_diff.py).
  *
  * Per workload it reports:
- *  - wall_ms        host wall-clock for the timed section (exec + fabric)
+ *  - wall_ms        host wall-clock for the timed section (exec + backend)
  *  - exec_wall_ms   Executor timing-model run
- *  - fabric_wall_ms bit-accurate fabric passes (the bank-parallel meat)
+ *  - fabric_wall_ms backend job passes (bit-accurate when --backend fabric)
  *  - sim_cycles     simulated cycles (deterministic; the CI gate)
+ *  - backend_sim_cycles  cycle replay of the job (fabric/timing backends)
  *  - jit_ticks      modeled JIT lowering time
  *  - noc_hop_bytes  total NoC traffic (bytes x hops over all classes)
- *  - checksum       FNV-1a over the fabric output bit patterns
+ *  - checksum       FNV-1a over the job output bit patterns
  *  - speedup_vs_1t  wall-clock speedup vs a --threads 1 rerun
  *
  * Simulated quantities are identical for any --threads value; only the
- * wall-clock fields change (DESIGN.md §10).
+ * wall-clock fields change (DESIGN.md §10). The functional backend's
+ * checksums are byte-identical to the fabric's (DESIGN.md §12), so
+ * per-PR CI runs it for speed while nightly re-runs the fabric.
  *
- * Exit status: 0 success, 2 usage error.
+ * Exit status: 0 success, 2 usage error (unknown scenario or backend
+ * names fail upfront, before anything runs).
  */
 
 #include <algorithm>
@@ -25,74 +29,17 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/backend.hh"
 #include "core/executor.hh"
-#include "jit/jit.hh"
-#include "mem/address_map.hh"
-#include "sim/rng.hh"
-#include "uarch/bit_exec.hh"
 #include "uarch/system.hh"
-#include "workloads/pointnet.hh"
-#include "workloads/workloads.hh"
+#include "workloads/registry.hh"
 
 namespace {
 
 using namespace infs;
-
-struct Scenario {
-    const char *name;
-    std::function<Workload()> quick; ///< Tier-1 sizes (CI smoke).
-    std::function<Workload()> full;  ///< Larger sizes for real timing.
-};
-
-/** The 17 seed scenarios, quick sizes matching infs-verify's tier-1
- * registry. */
-const std::vector<Scenario> &
-registry()
-{
-    static const std::vector<Scenario> entries = {
-        {"vec_add", [] { return makeVecAdd(512); },
-         [] { return makeVecAdd(1 << 18); }},
-        {"array_sum", [] { return makeArraySum(1000); },
-         [] { return makeArraySum(1 << 18); }},
-        {"stencil1d", [] { return makeStencil1d(256, 4); },
-         [] { return makeStencil1d(1 << 16, 8); }},
-        {"stencil2d", [] { return makeStencil2d(32, 24, 3); },
-         [] { return makeStencil2d(256, 256, 6); }},
-        {"stencil3d", [] { return makeStencil3d(16, 12, 8, 2); },
-         [] { return makeStencil3d(64, 64, 32, 4); }},
-        {"dwt2d", [] { return makeDwt2d(32, 32); },
-         [] { return makeDwt2d(256, 256); }},
-        {"gauss_elim", [] { return makeGaussElim(24); },
-         [] { return makeGaussElim(96); }},
-        {"conv2d", [] { return makeConv2d(24, 20); },
-         [] { return makeConv2d(128, 128); }},
-        {"conv3d", [] { return makeConv3d(10, 8, 4, 3); },
-         [] { return makeConv3d(32, 32, 8, 8); }},
-        {"mm_outer", [] { return makeMm(12, 16, 8, true); },
-         [] { return makeMm(64, 64, 64, true); }},
-        {"mm_inner", [] { return makeMm(12, 16, 8, false); },
-         [] { return makeMm(64, 64, 64, false); }},
-        {"kmeans_outer", [] { return makeKmeans(64, 8, 4, true); },
-         [] { return makeKmeans(1024, 16, 8, true); }},
-        {"kmeans_inner", [] { return makeKmeans(64, 8, 4, false); },
-         [] { return makeKmeans(1024, 16, 8, false); }},
-        {"gather_mlp_outer",
-         [] { return makeGatherMlp(24, 8, 6, 40, true); },
-         [] { return makeGatherMlp(128, 32, 24, 256, true); }},
-        {"gather_mlp_inner",
-         [] { return makeGatherMlp(24, 8, 6, 40, false); },
-         [] { return makeGatherMlp(128, 32, 24, 256, false); }},
-        {"pointnet_ssg", [] { return makePointNetSSG(128); },
-         [] { return makePointNetSSG(512); }},
-        {"pointnet_msg", [] { return makePointNetMSG(64); },
-         [] { return makePointNetMSG(256); }},
-    };
-    return entries;
-}
 
 /** Per-workload measurement row (medians over the timed repeats). */
 struct Row {
@@ -105,11 +52,12 @@ struct Row {
     double fabricWallMsMin = 0.0;
     double fabricWallMsMax = 0.0;
     std::uint64_t simCycles = 0;
+    std::uint64_t backendSimCycles = 0; ///< Job cycle replay (0 = none).
     std::uint64_t jitTicks = 0;
     double nocHopBytes = 0.0;
     std::uint64_t checksum = 0;
     double speedup = 1.0;
-    FabricStats fabric; ///< Per-command-kind breakdown (last repeat).
+    FabricStats fabric; ///< Per-command-kind breakdown (fabric backend).
 };
 
 /** Lower median of a non-empty sample (deterministic for even sizes). */
@@ -128,99 +76,11 @@ msSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-std::uint64_t
-fnv1a(std::uint64_t h, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i) {
-        h ^= (v >> (8 * i)) & 0xffu;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Cap on lattice volume for the fabric pass: bit-serial simulation is
- * O(volume x bits) per command, so paper-scale workloads would take
- * minutes. Scenarios above the cap skip the fabric pass (checksum 0). */
-constexpr std::int64_t kFabricVolumeCap = 1 << 18;
-
-/**
- * Bit-accurate fabric pass: lower the workload's first primary-layout
- * tensor phase and execute it on real bitlines with the system pool
- * attached — this is where --threads buys bank-parallel wall time.
- * Deterministic inputs, deterministic checksum.
- */
-double
-fabricPass(const Workload &w, const SystemConfig &cfg, ThreadPool *pool,
-           std::uint64_t &checksum, FabricStats &stats)
-{
-    LayoutHints hints;
-    bool have_tdfg = false;
-    for (const Phase &p : w.phases) {
-        if (!p.buildTdfg)
-            continue;
-        LayoutHints h = LayoutHints::fromGraph(p.buildTdfg(0));
-        hints.shiftDims.insert(h.shiftDims.begin(), h.shiftDims.end());
-        hints.broadcastDims.insert(h.broadcastDims.begin(),
-                                   h.broadcastDims.end());
-        if (h.reduceDim)
-            hints.reduceDim = h.reduceDim;
-        have_tdfg = true;
-    }
-    if (!have_tdfg)
-        return 0.0;
-    TilingPolicy policy(cfg.l3);
-    TileDecision tile = policy.choose(w.primaryShape, w.elemBytes, hints);
-    if (!tile.valid)
-        return 0.0;
-    auto made = TiledLayout::make(w.primaryShape, tile.tile);
-    if (!made)
-        return 0.0;
-    TiledLayout layout = std::move(*made);
-    std::int64_t volume = 1;
-    for (Coord s : layout.shape())
-        volume *= s;
-    if (volume > kFabricVolumeCap)
-        return 0.0;
-
-    AddressMap map(cfg.l3, cfg.noc.memCtrls);
-    JitCompiler jit(cfg);
-    jit.setThreadPool(pool);
-    for (const Phase &p : w.phases) {
-        if (!p.buildTdfg)
-            continue;
-        TdfgGraph g = p.buildTdfg(0);
-        if (!p.latticeShape.empty() || g.dims() != layout.dims())
-            continue; // Primary-layout phases only.
-        auto prog_or = jit.tryLower(g, layout, map);
-        if (!prog_or)
-            continue;
-        const InMemProgram &prog = **prog_or;
-
-        const auto vol = static_cast<std::size_t>(volume);
-        BitAccurateFabric fab(layout);
-        fab.setThreadPool(pool);
-        const auto t0 = std::chrono::steady_clock::now();
-        for (const auto &[id, wl] : prog.arraySlots) {
-            std::vector<float> data(vol);
-            Rng rng(static_cast<std::uint64_t>(id) + 101);
-            for (auto &v : data)
-                v = rng.nextFloat(-4, 4);
-            fab.loadArray(data, wl);
-        }
-        fab.execute(prog);
-        std::uint64_t h = 0xcbf29ce484222325ull;
-        std::vector<float> out(vol);
-        for (const auto &[id, wl] : prog.outputSlots) {
-            fab.storeArray(out, wl);
-            for (float v : out)
-                h = fnv1a(h, std::bit_cast<std::uint32_t>(v));
-        }
-        checksum = h;
-        stats = fab.stats();
-        return msSince(t0);
-    }
-    return 0.0;
-}
+/** Cap on lattice volume for the per-scenario job pass: bit-serial
+ * simulation is O(volume x bits) per command, so paper-scale workloads
+ * would take minutes on the fabric backend. Scenarios above the cap skip
+ * the job pass (checksum falls back to the functional store hash). */
+constexpr std::int64_t kJobVolumeCap = 1 << 18;
 
 /**
  * One full measurement of a workload at a given thread count: one untimed
@@ -229,18 +89,20 @@ fabricPass(const Workload &w, const SystemConfig &cfg, ThreadPool *pool,
  * are identical every iteration by construction — verified here.
  */
 Row
-benchOne(const Scenario &sc, bool quick, unsigned threads, unsigned repeat)
+benchOne(const BenchScenario &sc, bool quick, unsigned threads,
+         unsigned repeat, ExecBackendKind backend)
 {
     // Full runtime behavior: preparation, JIT, Eq. 2 adaptivity all
     // included (assumeTransposed stays at the factory default).
     Workload w = quick ? sc.quick() : sc.full();
     SystemConfig cfg = testSystemConfig();
     cfg.hostThreads = threads;
+    cfg.backend = backend;
 
     Row row;
     row.name = sc.name;
 
-    std::vector<double> execMs, fabricMs, wallMs;
+    std::vector<double> execMs, backendMs, wallMs;
     for (unsigned r = 0; r <= repeat; ++r) {
         // Fresh system per iteration: persistent state (the JIT memo)
         // must not make later repeats cheaper than the first.
@@ -249,22 +111,35 @@ benchOne(const Scenario &sc, bool quick, unsigned threads, unsigned repeat)
         ExecStats st = Executor(sys, Paradigm::InfS).run(w);
         const double exec_ms = msSince(t0);
 
-        std::uint64_t checksum = 0;
-        FabricStats fs;
-        const double fabric_ms =
-            fabricPass(w, cfg, &sys.pool(), checksum, fs);
+        // Per-scenario job pass on the selected backend: the first
+        // primary-layout phase lowered and executed on deterministic
+        // inputs (bit-accurate when the backend produces bits).
+        BackendResult br;
+        double backend_ms = 0.0;
+        if (auto job = planPrimaryJob(w, cfg, &sys.pool(),
+                                      kJobVolumeCap)) {
+            auto bt0 = std::chrono::steady_clock::now();
+            auto be = makeBackend(backend, cfg);
+            be->setThreadPool(&sys.pool());
+            br = be->runJob(*job);
+            backend_ms = msSince(bt0);
+        }
 
         if (r == 0) {
             // Warmup: record the deterministic quantities, discard time.
             row.simCycles = static_cast<std::uint64_t>(st.cycles);
+            row.backendSimCycles =
+                static_cast<std::uint64_t>(br.simCycles);
             row.jitTicks = static_cast<std::uint64_t>(st.jitCycles);
             for (double v : st.nocHopBytes)
                 row.nocHopBytes += v;
-            row.checksum = checksum;
+            row.checksum = br.checksum;
             continue;
         }
-        if (checksum != row.checksum ||
-            static_cast<std::uint64_t>(st.cycles) != row.simCycles) {
+        if (br.checksum != row.checksum ||
+            static_cast<std::uint64_t>(st.cycles) != row.simCycles ||
+            static_cast<std::uint64_t>(br.simCycles) !=
+                row.backendSimCycles) {
             std::fprintf(stderr,
                          "%s: non-deterministic repeat (checksum or "
                          "sim_cycles changed)\n",
@@ -272,31 +147,34 @@ benchOne(const Scenario &sc, bool quick, unsigned threads, unsigned repeat)
             std::exit(1);
         }
         execMs.push_back(exec_ms);
-        fabricMs.push_back(fabric_ms);
-        wallMs.push_back(exec_ms + fabric_ms);
-        row.fabric = fs;
+        backendMs.push_back(backend_ms);
+        wallMs.push_back(exec_ms + backend_ms);
+        row.fabric = br.fabric;
     }
 
     row.execWallMs = median(execMs);
-    row.fabricWallMs = median(fabricMs);
-    row.fabricWallMsMin = *std::min_element(fabricMs.begin(), fabricMs.end());
-    row.fabricWallMsMax = *std::max_element(fabricMs.begin(), fabricMs.end());
+    row.fabricWallMs = median(backendMs);
+    row.fabricWallMsMin =
+        *std::min_element(backendMs.begin(), backendMs.end());
+    row.fabricWallMsMax =
+        *std::max_element(backendMs.begin(), backendMs.end());
     row.wallMs = median(wallMs);
     row.wallMsMin = *std::min_element(wallMs.begin(), wallMs.end());
     row.wallMsMax = *std::max_element(wallMs.begin(), wallMs.end());
 
     if (row.checksum == 0) {
-        // No fabric pass covered this scenario (near-memory-only result
-        // or untileable layout): hash the executor's functional output
-        // arrays instead so every scenario carries a bit-exactness
-        // signal. Untimed — functional mode is not the measured path.
+        // No job pass covered this scenario (near-memory-only result,
+        // untileable layout, over the volume cap, or a timing-only
+        // backend): hash the executor's functional output arrays instead
+        // so every scenario carries a deterministic signal. Untimed —
+        // functional mode is not the measured path.
         InfinitySystem sys(cfg);
         ArrayStore store;
         Executor(sys, Paradigm::InfS).run(w, &store);
         std::uint64_t h = 0xcbf29ce484222325ull;
         for (std::size_t id = 0; id < store.size(); ++id)
             for (float v : store.data(static_cast<ArrayId>(id)))
-                h = fnv1a(h, std::bit_cast<std::uint32_t>(v));
+                h = fnv1aWord(h, std::bit_cast<std::uint32_t>(v));
         row.checksum = h;
     }
     return row;
@@ -304,10 +182,11 @@ benchOne(const Scenario &sc, bool quick, unsigned threads, unsigned repeat)
 
 void
 writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
-          unsigned threads, unsigned repeat)
+          unsigned threads, unsigned repeat, ExecBackendKind backend)
 {
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"infs-bench-v2\",\n");
+    std::fprintf(f, "  \"schema\": \"infs-bench-v3\",\n");
+    std::fprintf(f, "  \"backend\": \"%s\",\n", backendName(backend));
     std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"repeat\": %u,\n", repeat);
@@ -328,6 +207,8 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
                      r.fabricWallMsMax);
         std::fprintf(f, "      \"sim_cycles\": %llu,\n",
                      static_cast<unsigned long long>(r.simCycles));
+        std::fprintf(f, "      \"backend_sim_cycles\": %llu,\n",
+                     static_cast<unsigned long long>(r.backendSimCycles));
         std::fprintf(f, "      \"jit_ticks\": %llu,\n",
                      static_cast<unsigned long long>(r.jitTicks));
         std::fprintf(f, "      \"noc_hop_bytes\": %.1f,\n", r.nocHopBytes);
@@ -357,11 +238,19 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
 int
 usage(const char *argv0)
 {
-    std::printf(
-        "usage: %s [--quick|--full] [--threads N] [--repeat N] "
-        "[--json out.json] [--list] [workload...]\n"
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick|--full] [--backend fabric|functional|timing]\n"
+        "       [--threads N] [--repeat N] [--json out.json]\n"
+        "       [--list-scenarios] [workload...]\n"
         "Benchmark the seed workloads; default --quick over the whole "
         "registry.\n"
+        "--backend selects the execution backend for the per-scenario job "
+        "pass\n"
+        "  (default fabric; functional is bit-identical and faster, "
+        "timing is\n"
+        "  cycles-only). Unknown scenario or backend names exit 2 before "
+        "running.\n"
         "--threads 0 uses all hardware threads; simulated results are "
         "identical for any value.\n"
         "--repeat N (default 3) runs N timed iterations after one "
@@ -378,6 +267,7 @@ main(int argc, char **argv)
     bool quick = true;
     unsigned threads = 0;
     unsigned repeat = 3;
+    ExecBackendKind backend = ExecBackendKind::Fabric;
     std::string json_path;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
@@ -386,6 +276,13 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--full") {
             quick = false;
+        } else if (arg == "--backend" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (!parseBackendName(name, backend)) {
+                std::fprintf(stderr, "unknown backend '%s'\n",
+                             name.c_str());
+                return usage(argv[0]);
+            }
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--repeat" && i + 1 < argc) {
@@ -394,8 +291,8 @@ main(int argc, char **argv)
                 repeat = 1;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
-        } else if (arg == "--list") {
-            for (const Scenario &sc : registry())
+        } else if (arg == "--list-scenarios" || arg == "--list") {
+            for (const BenchScenario &sc : benchRegistry())
                 std::printf("%s\n", sc.name);
             return 0;
         } else if (arg.rfind("-", 0) == 0) {
@@ -405,22 +302,33 @@ main(int argc, char **argv)
         }
     }
 
+    // Fail loudly BEFORE running anything: a typo'd scenario must not
+    // silently bench nothing (CI would gate on an empty row set).
+    for (const std::string &name : names) {
+        if (findScenario(name) == nullptr) {
+            std::fprintf(stderr,
+                         "unknown scenario '%s'; --list-scenarios shows "
+                         "the registry\n",
+                         name.c_str());
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("backend: %s\n", backendName(backend));
     std::vector<Row> rows;
-    std::size_t matched = 0;
-    for (const Scenario &sc : registry()) {
+    for (const BenchScenario &sc : benchRegistry()) {
         if (!names.empty() &&
             std::find(names.begin(), names.end(), sc.name) == names.end())
             continue;
-        ++matched;
-        Row row = benchOne(sc, quick, threads, repeat);
+        Row row = benchOne(sc, quick, threads, repeat, backend);
         if (threads != 1) {
             // Wall-clock baseline for the speedup column; simulated
             // results are identical by construction.
-            Row base = benchOne(sc, quick, 1, repeat);
+            Row base = benchOne(sc, quick, 1, repeat, backend);
             if (row.wallMs > 0.0)
                 row.speedup = base.wallMs / row.wallMs;
         }
-        std::printf("%-18s wall %8.2f ms  (exec %7.2f + fabric %7.2f)  "
+        std::printf("%-18s wall %8.2f ms  (exec %7.2f + backend %7.2f)  "
                     "cycles %12llu  jit %8llu  speedup %5.2fx\n",
                     row.name.c_str(), row.wallMs, row.execWallMs,
                     row.fabricWallMs,
@@ -429,18 +337,15 @@ main(int argc, char **argv)
                     row.speedup);
         rows.push_back(std::move(row));
     }
-    if (!names.empty() && matched != names.size()) {
-        std::printf("unknown workload name; --list shows the registry\n");
-        return 2;
-    }
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f) {
-            std::printf("cannot open %s for writing\n", json_path.c_str());
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         json_path.c_str());
             return 2;
         }
-        writeJson(f, rows, quick, threads, repeat);
+        writeJson(f, rows, quick, threads, repeat, backend);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }

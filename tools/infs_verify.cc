@@ -6,60 +6,33 @@
  * additionally lowers each tDFG exactly as the executor would and runs
  * the command hazard analyzer over the result.
  *
+ * With --backend=NAME the tool also executes each workload's primary
+ * lowered job on the selected execution backend (DESIGN.md §12) and
+ * prints its checksum and replay cycles — a quick dynamic cross-check on
+ * top of the static analyses.
+ *
  * Exit status: 0 all requested subjects verify clean, 1 diagnostics were
- * reported, 2 usage error.
+ * reported, 2 usage error (unknown workload or backend names fail
+ * upfront, before anything runs).
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/verify_cmds.hh"
 #include "analysis/verify_tdfg.hh"
+#include "core/backend.hh"
 #include "core/executor.hh"
 #include "egraph/egraph.hh"
 #include "jit/jit.hh"
 #include "mem/address_map.hh"
-#include "workloads/pointnet.hh"
-#include "workloads/workloads.hh"
+#include "workloads/registry.hh"
 
 namespace {
 
 using namespace infs;
-
-struct Entry {
-    const char *name;
-    std::function<Workload()> make;
-};
-
-/** The seed workloads at their tier-1 test sizes. */
-const std::vector<Entry> &
-registry()
-{
-    static const std::vector<Entry> entries = {
-        {"vec_add", [] { return makeVecAdd(512); }},
-        {"array_sum", [] { return makeArraySum(1000); }},
-        {"stencil1d", [] { return makeStencil1d(256, 4); }},
-        {"stencil2d", [] { return makeStencil2d(32, 24, 3); }},
-        {"stencil3d", [] { return makeStencil3d(16, 12, 8, 2); }},
-        {"dwt2d", [] { return makeDwt2d(32, 32); }},
-        {"gauss_elim", [] { return makeGaussElim(24); }},
-        {"conv2d", [] { return makeConv2d(24, 20); }},
-        {"conv3d", [] { return makeConv3d(10, 8, 4, 3); }},
-        {"mm_outer", [] { return makeMm(12, 16, 8, true); }},
-        {"mm_inner", [] { return makeMm(12, 16, 8, false); }},
-        {"kmeans_outer", [] { return makeKmeans(64, 8, 4, true); }},
-        {"kmeans_inner", [] { return makeKmeans(64, 8, 4, false); }},
-        {"gather_mlp_outer", [] { return makeGatherMlp(24, 8, 6, 40, true); }},
-        {"gather_mlp_inner",
-         [] { return makeGatherMlp(24, 8, 6, 40, false); }},
-        {"pointnet_ssg", [] { return makePointNetSSG(128); }},
-        {"pointnet_msg", [] { return makePointNetMSG(64); }},
-    };
-    return entries;
-}
 
 /**
  * Verify one workload: every tDFG phase, its optimized form, and (at
@@ -178,14 +151,48 @@ verifyWorkload(const Workload &w, VerifyLevel level, bool verbose)
     return n_diags;
 }
 
+/** Cap matching infs-bench: backends skip outsized job passes. */
+constexpr std::int64_t kJobVolumeCap = 1 << 18;
+
+/**
+ * Execute the workload's primary lowered job on @p backend and print the
+ * result. Purely informational (checksums are pinned by the differential
+ * tests, not here); returns no diagnostics.
+ */
+void
+runBackendPass(const Workload &w, ExecBackendKind backend)
+{
+    SystemConfig cfg = testSystemConfig();
+    cfg.backend = backend;
+    auto job = planPrimaryJob(w, cfg, nullptr, kJobVolumeCap);
+    if (!job) {
+        std::printf("  backend %s: no lowerable primary job\n",
+                    backendName(backend));
+        return;
+    }
+    BackendResult r = makeBackend(backend, cfg)->runJob(*job);
+    std::printf("  backend %s: checksum 0x%016llx%s", backendName(backend),
+                static_cast<unsigned long long>(r.checksum),
+                r.bitAccurate ? " (bit-accurate)" : "");
+    if (r.hasTiming)
+        std::printf("  cycles %llu",
+                    static_cast<unsigned long long>(r.simCycles));
+    std::printf("\n");
+}
+
 int
 usage(const char *argv0)
 {
-    std::printf(
-        "usage: %s [--list] [--level=graphs|full] [--verbose] "
-        "[--all | workload...]\n"
+    std::fprintf(
+        stderr,
+        "usage: %s [--list] [--level=graphs|full] "
+        "[--backend=fabric|functional|timing]\n"
+        "       [--verbose] [--all | workload...]\n"
         "Verify seed workloads with the static-analysis suite "
-        "(DESIGN.md §9).\n",
+        "(DESIGN.md §9).\n"
+        "--backend additionally executes each workload's primary lowered "
+        "job on\n"
+        "  the named execution backend and prints its checksum/cycles.\n",
         argv0);
     return 2;
 }
@@ -198,17 +205,27 @@ main(int argc, char **argv)
     VerifyLevel level = VerifyLevel::Full;
     bool verbose = false;
     bool all = false;
+    bool run_backend = false;
+    ExecBackendKind backend = ExecBackendKind::Fabric;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list") {
-            for (const Entry &e : registry())
-                std::printf("%s\n", e.name);
+            for (const BenchScenario &sc : benchRegistry())
+                std::printf("%s\n", sc.name);
             return 0;
         } else if (arg == "--level=graphs") {
             level = VerifyLevel::Graphs;
         } else if (arg == "--level=full") {
             level = VerifyLevel::Full;
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            const std::string name = arg.substr(10);
+            if (!parseBackendName(name, backend)) {
+                std::fprintf(stderr, "unknown backend '%s'\n",
+                             name.c_str());
+                return usage(argv[0]);
+            }
+            run_backend = true;
         } else if (arg == "--verbose" || arg == "-v") {
             verbose = true;
         } else if (arg == "--all") {
@@ -222,23 +239,34 @@ main(int argc, char **argv)
     if (!all && names.empty())
         return usage(argv[0]);
 
+    // Fail loudly BEFORE verifying anything: a typo'd name must not
+    // silently verify a subset.
+    for (const std::string &name : names) {
+        if (findScenario(name) == nullptr) {
+            std::fprintf(stderr,
+                         "unknown workload '%s'; --list shows the "
+                         "registry\n",
+                         name.c_str());
+            return usage(argv[0]);
+        }
+    }
+
     std::size_t total = 0;
     std::size_t run = 0;
-    for (const Entry &e : registry()) {
+    for (const BenchScenario &sc : benchRegistry()) {
         const bool wanted =
-            all || std::find(names.begin(), names.end(), e.name) !=
+            all || std::find(names.begin(), names.end(), sc.name) !=
                        names.end();
         if (!wanted)
             continue;
         ++run;
-        std::printf("%s:\n", e.name);
-        std::size_t n = verifyWorkload(e.make(), level, verbose);
+        std::printf("%s:\n", sc.name);
+        Workload w = sc.quick();
+        std::size_t n = verifyWorkload(w, level, verbose);
+        if (run_backend)
+            runBackendPass(w, backend);
         std::printf("  %zu diagnostic%s\n", n, n == 1 ? "" : "s");
         total += n;
-    }
-    if (run != (all ? registry().size() : names.size())) {
-        std::printf("unknown workload name; --list shows the registry\n");
-        return 2;
     }
     std::printf("%s: %zu diagnostic%s across %zu workload%s\n",
                 verifyLevelName(level), total, total == 1 ? "" : "s", run,
