@@ -2,14 +2,22 @@
 """Compare two infs-bench JSON files and fail on simulated regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--max-regress PCT]
-                     [--expect-backend NAME]
+                     [--expect-backend NAME] [--min-improve PCT]
+                     [--min-improve-count N]
 
-Two gates, both on machine-independent quantities (DESIGN.md section 10):
+Gates, all on machine-independent quantities (DESIGN.md section 10):
 
 - `sim_cycles` must not regress beyond --max-regress percent; simulated
   cycles are deterministic across machines, thread counts, and execution
   backends (the Executor timing model is backend-independent), so any
-  change is a real model change, not noise.
+  change is a real model change, not noise. The gate is directional:
+  only increases can fail it, a sim_cycles reduction of any size always
+  passes (improvements are the point of optimizer PRs).
+- With --min-improve PCT, at least --min-improve-count workloads
+  (default 1) must show a sim_cycles reduction of at least PCT percent
+  versus baseline. This turns the diff into a claim check for
+  performance PRs: CI fails if an advertised optimization stops
+  delivering, not just if something regresses.
 - `checksum` must be byte-identical whenever both files report a
   non-zero value AND both files' backends produce bit-certified sums.
   The fabric and functional backends are certified byte-identical
@@ -21,10 +29,11 @@ Two gates, both on machine-independent quantities (DESIGN.md section 10):
   scenario; the pair is reported but does not gate.
 
 Wall-clock fields are reported for context but never gate. Accepts the
-infs-bench-v1, -v2, and -v3 schemas (v2 added repeat/median timing and
+infs-bench-v1 through -v4 schemas (v2 added repeat/median timing and
 fabric breakdowns; v3 adds the top-level `backend` and per-row
-`backend_sim_cycles`). Files older than v3 are fabric-backend by
-definition. --expect-backend fails fast when CURRENT was produced by a
+`backend_sim_cycles`; v4 adds `job_sim_cycles`, `cmd_stats`, and
+optional ablation rows, none of which gate here). Files older than v3
+are fabric-backend by definition. --expect-backend fails fast when CURRENT was produced by a
 different backend than the pipeline intended (a mis-wired CI lane would
 otherwise silently skip the checksum gate). Exit status: 0 within
 budget, 1 regression or checksum mismatch, 2 usage/schema error.
@@ -34,7 +43,8 @@ import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("infs-bench-v1", "infs-bench-v2", "infs-bench-v3")
+KNOWN_SCHEMAS = ("infs-bench-v1", "infs-bench-v2", "infs-bench-v3",
+                 "infs-bench-v4")
 
 # Backends whose checksums are certified identical to the bit-accurate
 # fabric (see tests/core/test_backend_diff.cc).
@@ -70,7 +80,17 @@ def main():
     ap.add_argument("--expect-backend", metavar="NAME",
                     help="fail (exit 2) unless CURRENT was produced by "
                          "this backend")
+    ap.add_argument("--min-improve", type=float, metavar="PCT",
+                    help="require a sim_cycles reduction of at least PCT "
+                         "percent on --min-improve-count workloads")
+    ap.add_argument("--min-improve-count", type=int, default=1,
+                    metavar="N",
+                    help="workloads that must meet --min-improve "
+                         "(default 1)")
     args = ap.parse_args()
+    if args.min_improve is not None and args.min_improve_count < 1:
+        print("--min-improve-count must be >= 1", file=sys.stderr)
+        sys.exit(2)
 
     base_backend, base = load(args.baseline)
     cur_backend, cur = load(args.current)
@@ -89,6 +109,7 @@ def main():
                  else " — checksums reported, not gated"))
 
     failed = []
+    improved = []
     for name, b in sorted(base.items()):
         c = cur.get(name)
         if c is None:
@@ -96,6 +117,9 @@ def main():
             continue
         bc, cc = b["sim_cycles"], c["sim_cycles"]
         delta = 100.0 * (cc - bc) / bc if bc else (100.0 if cc else 0.0)
+        if (args.min_improve is not None
+                and -delta >= args.min_improve):
+            improved.append(name)
         marker = " "
         if delta > args.max_regress:
             failed.append(f"{name}: sim_cycles {bc} -> {cc} "
@@ -124,6 +148,18 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"+ {name:<18} new workload "
               f"(sim_cycles {cur[name]['sim_cycles']})")
+
+    if args.min_improve is not None:
+        if len(improved) < args.min_improve_count:
+            failed.append(
+                f"improvement gate: {len(improved)} workload(s) improved "
+                f">= {args.min_improve:g}% "
+                f"({', '.join(improved) if improved else 'none'}), "
+                f"need {args.min_improve_count}")
+        else:
+            print(f"improvement gate: {len(improved)} workload(s) "
+                  f">= {args.min_improve:g}% faster "
+                  f"({', '.join(improved)})")
 
     if failed:
         print(f"\n{len(failed)} gate failure(s):", file=sys.stderr)

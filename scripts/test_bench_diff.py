@@ -78,6 +78,14 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(res.returncode, 2)
         self.assertIn("unexpected schema", res.stderr + res.stdout)
 
+    def test_v4_schema_accepted(self):
+        data = bench_file(
+            [row("vec_add", job_sim_cycles=2706, commands=43,
+                 cmd_stats={"fused_moves": 5, "elided_syncs": 2},
+                 ablation=[{"variant": "base", "sim_cycles": 1000}])],
+            schema="infs-bench-v4")
+        self.assertEqual(self.run_diff(data, data).returncode, 0)
+
     def test_v2_baseline_vs_v3_current_mix(self):
         # Upgrading the bench tool must not invalidate old baselines.
         base = bench_file([row("vec_add")], schema="infs-bench-v2",
@@ -112,6 +120,13 @@ class BenchDiffTest(unittest.TestCase):
         cur = bench_file([row("vec_add", sim_cycles=2000)],
                          backend="timing")
         self.assertEqual(self.run_diff(base, cur).returncode, 1)
+
+    def test_sim_cycles_gate_is_directional(self):
+        # A reduction of any magnitude must always pass: the regression
+        # gate is one-sided.
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=10)])  # -99%
+        self.assertEqual(self.run_diff(base, cur).returncode, 0)
 
     def test_missing_workload_fails(self):
         base = bench_file([row("vec_add"), row("dwt2d")])
@@ -178,6 +193,55 @@ class BenchDiffTest(unittest.TestCase):
                           backend=None)
         res = self.run_diff(data, data, "--expect-backend", "fabric")
         self.assertEqual(res.returncode, 0)
+
+    # ---- improvement gate (--min-improve) ----------------------------
+
+    def test_min_improve_met_passes(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=890)])  # -11%
+        res = self.run_diff(base, cur, "--min-improve", "10")
+        self.assertEqual(res.returncode, 0)
+        self.assertIn("improvement gate", res.stdout)
+
+    def test_min_improve_unmet_fails(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=950)])  # -5%
+        res = self.run_diff(base, cur, "--min-improve", "10")
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("improvement gate", res.stderr)
+
+    def test_min_improve_count_semantics(self):
+        base = bench_file([row("a", sim_cycles=1000),
+                           row("b", sim_cycles=1000),
+                           row("c", sim_cycles=1000)])
+        cur = bench_file([row("a", sim_cycles=850),   # -15%
+                          row("b", sim_cycles=880),   # -12%
+                          row("c", sim_cycles=990)])  # -1%
+        ok = self.run_diff(base, cur, "--min-improve", "10",
+                           "--min-improve-count", "2")
+        self.assertEqual(ok.returncode, 0)
+        fail = self.run_diff(base, cur, "--min-improve", "10",
+                             "--min-improve-count", "3")
+        self.assertEqual(fail.returncode, 1)
+
+    def test_min_improve_exact_threshold_counts(self):
+        base = bench_file([row("vec_add", sim_cycles=1000)])
+        cur = bench_file([row("vec_add", sim_cycles=900)])  # exactly -10%
+        res = self.run_diff(base, cur, "--min-improve", "10")
+        self.assertEqual(res.returncode, 0)
+
+    def test_min_improve_off_by_default(self):
+        # Without the flag, equal cycles never trip an improvement gate.
+        data = bench_file([row("vec_add", sim_cycles=1000)])
+        res = self.run_diff(data, data)
+        self.assertEqual(res.returncode, 0)
+        self.assertNotIn("improvement gate", res.stdout)
+
+    def test_min_improve_bad_count_rejected(self):
+        data = bench_file([row("vec_add")])
+        res = self.run_diff(data, data, "--min-improve", "10",
+                            "--min-improve-count", "0")
+        self.assertEqual(res.returncode, 2)
 
 
 if __name__ == "__main__":

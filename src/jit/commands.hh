@@ -72,6 +72,32 @@ struct InMemCommand {
     std::string str() const;
 };
 
+/**
+ * Work performed by the command-stream optimizer (src/jit/cmdopt.hh) on
+ * one lowered program. Every counter is a count of commands *removed* or
+ * barriers *elided*, so the optimized stream's per-kind counts are never
+ * larger than the raw stream's (pinned by tests/jit/test_cmdopt_property).
+ */
+struct CmdStats {
+    unsigned fusedMoves = 0;        ///< Shift commands merged into wider ones.
+    unsigned dedupedBroadcasts = 0; ///< Redundant broadcasts removed.
+    unsigned dedupedCommands = 0;   ///< Other provably redundant commands.
+    unsigned hoistedMasks = 0;      ///< Repeated tile-mask setups merged.
+    unsigned elidedSyncs = 0;       ///< Barriers the hazard facts disprove.
+    unsigned bailouts = 0;          ///< Optimized stream rejected; raw kept.
+
+    void
+    accumulate(const CmdStats &o)
+    {
+        fusedMoves += o.fusedMoves;
+        dedupedBroadcasts += o.dedupedBroadcasts;
+        dedupedCommands += o.dedupedCommands;
+        hoistedMasks += o.hoistedMasks;
+        elidedSyncs += o.elidedSyncs;
+        bailouts += o.bailouts;
+    }
+};
+
 /** A fully lowered in-memory program plus lowering statistics. */
 struct InMemProgram {
     std::vector<InMemCommand> commands;
@@ -89,6 +115,7 @@ struct InMemProgram {
     unsigned numSync = 0;
     Tick jitTicks = 0;       ///< Modeled JIT lowering time (§4.2).
     bool memoized = false;   ///< Reused from the memoization cache.
+    CmdStats opt;            ///< Command-optimizer work on this program.
 
     void
     recount()

@@ -4,6 +4,8 @@
 #include <optional>
 #include <sstream>
 
+#include "jit/cmdopt.hh"
+
 namespace infs {
 
 const char *
@@ -645,11 +647,32 @@ JitCompiler::tryLower(const TdfgGraph &g, const TiledLayout &layout,
         if (std::optional<Error> err = verify_(g, *lowered, layout, map))
             return *std::move(err);
     }
+    if (cfg_.cmdOpt) {
+        // Optimize a copy so a verify rejection can fall back to the raw
+        // stream (the raw stream just passed the hook above, so the region
+        // still executes — the bailout only foregoes the optimization).
+        InMemProgram optimized = *lowered;
+        CmdOptOptions opts;
+        opts.syncElision = cfg_.cmdOptSyncElision;
+        optimizeCommands(optimized, layout, map, cfg_, opts);
+        bool accept = true;
+        if (verify_) {
+            if (verify_(g, optimized, layout, map))
+                accept = false;
+        }
+        if (accept) {
+            *lowered = std::move(optimized);
+        } else {
+            lowered->opt = CmdStats{};
+            lowered->opt.bailouts = 1;
+        }
+    }
     auto prog = std::make_shared<InMemProgram>(std::move(*lowered));
     {
         std::lock_guard<std::mutex> lock(statsMu_);
         ++stats_.lowerings;
         stats_.totalJitTicks += prog->jitTicks;
+        stats_.cmd.accumulate(prog->opt);
     }
     if (!memo_key.empty()) {
         auto memoized = std::make_shared<InMemProgram>(*prog);

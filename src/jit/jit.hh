@@ -46,6 +46,8 @@ struct JitStats {
     std::uint64_t lowerings = 0;   ///< Cold lowering runs.
     std::uint64_t memoHits = 0;    ///< Programs served from the cache.
     Tick totalJitTicks = 0;        ///< Modeled lowering time total.
+    CmdStats cmd;                  ///< Command-optimizer work, summed over
+                                   ///< cold lowerings (SystemConfig::cmdOpt).
 };
 
 /**

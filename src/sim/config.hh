@@ -192,6 +192,23 @@ struct SystemConfig {
     /** Static-analysis level for graphs and lowered command streams. */
     VerifyLevel verifyLevel = VerifyLevel::Off;
 
+    /**
+     * Lowered-command optimizer (src/jit/cmdopt.hh): movement coalescing,
+     * redundant-command elimination, and hazard-driven Sync elision on
+     * every cold lowering, between Alg. 2 lowering and backend execution.
+     * Byte-preserving on the output slots by construction and certified
+     * by the backend differential tests; at verifyLevel Full the hazard
+     * analyzer additionally re-checks every optimized stream and the JIT
+     * falls back to the raw stream on any diagnostic (DESIGN.md §13).
+     */
+    bool cmdOpt = true;
+
+    /** Sync-elision sub-pass of the command optimizer; separate knob so
+     * the ablation harness (`infs-bench --ablate`) can quantify barrier
+     * elision apart from the peephole rewrites. No effect when cmdOpt is
+     * off. */
+    bool cmdOptSyncElision = true;
+
     /** Execution backend for lowered in-memory jobs. Fabric is the
      * bit-accurate ground truth; functional and timing are the fast
      * backends certified against it by tests/core/test_backend_diff.cc. */

@@ -29,6 +29,19 @@ namespace {
 
 constexpr std::int64_t kDiffVolumeCap = 1 << 18;
 
+/** The lowering config under test. The test_backend_diff_nocmdopt twin
+ * compiles with INFS_NO_CMDOPT to certify the raw (pre-optimizer)
+ * streams too, so a fidelity break is attributable in one CI run. */
+SystemConfig
+diffConfig()
+{
+    SystemConfig cfg = testSystemConfig();
+#ifdef INFS_NO_CMDOPT
+    cfg.cmdOpt = false;
+#endif
+    return cfg;
+}
+
 /** Run @p job on all three backends and pin the fidelity contract. */
 void
 expectBackendsAgree(const BackendJob &job, const std::string &what)
@@ -65,7 +78,7 @@ diffScenario(const char *name, bool full_size = false)
     const BenchScenario *sc = findScenario(name);
     ASSERT_NE(sc, nullptr);
     Workload w = full_size ? sc->full() : sc->quick();
-    SystemConfig cfg = testSystemConfig();
+    SystemConfig cfg = diffConfig();
     auto job = planPrimaryJob(w, cfg, nullptr, kDiffVolumeCap);
     if (!job)
         return;
@@ -113,7 +126,7 @@ TEST(BackendDiff, FastScenarioSubset)
 void
 diffRandomGraphs(std::uint64_t seed_base, unsigned count)
 {
-    SystemConfig cfg = testSystemConfig();
+    SystemConfig cfg = diffConfig();
     AddressMap map(cfg.l3, cfg.noc.memCtrls);
     JitCompiler jit(cfg);
     const Coord n = 1024;

@@ -34,12 +34,37 @@
 
 #include "core/backend.hh"
 #include "core/executor.hh"
+#include "egraph/egraph.hh"
 #include "uarch/system.hh"
 #include "workloads/registry.hh"
 
 namespace {
 
 using namespace infs;
+
+/**
+ * Optimization-stack switches for one measurement (the `--ablate`
+ * harness, DESIGN.md §13). The defaults mirror production: command
+ * optimizer on, e-graph off (floating-point reassociation changes bits,
+ * so it stays opt-in), memoization on.
+ */
+struct Knobs {
+    bool cmdOpt = true;      ///< SystemConfig::cmdOpt.
+    bool syncElision = true; ///< SystemConfig::cmdOptSyncElision.
+    bool memo = true;        ///< Phase::sameTdfgEachIter left as authored.
+    bool egraph = false;     ///< TdfgOptimizer on every built graph.
+};
+
+/** One ablation measurement: the deterministic signals only. */
+struct AblationRow {
+    std::string variant;
+    std::uint64_t simCycles = 0;
+    std::uint64_t jobSimCycles = 0;
+    std::uint64_t jitTicks = 0;
+    std::uint64_t checksum = 0;
+    unsigned commands = 0; ///< Optimized job command count (0 = no job).
+    CmdStats cmd;
+};
 
 /** Per-workload measurement row (medians over the timed repeats). */
 struct Row {
@@ -53,12 +78,39 @@ struct Row {
     double fabricWallMsMax = 0.0;
     std::uint64_t simCycles = 0;
     std::uint64_t backendSimCycles = 0; ///< Job cycle replay (0 = none).
+    std::uint64_t jobSimCycles = 0;     ///< Job timing replay (0 = none).
     std::uint64_t jitTicks = 0;
     double nocHopBytes = 0.0;
     std::uint64_t checksum = 0;
     double speedup = 1.0;
+    unsigned commands = 0; ///< Job command count after optimization.
+    CmdStats cmd; ///< Command-optimizer counters (exec run + job pass).
     FabricStats fabric; ///< Per-command-kind breakdown (fabric backend).
+    std::vector<AblationRow> ablation; ///< Filled in --ablate mode.
 };
+
+/**
+ * Apply the graph-level knobs to a freshly built workload. The config
+ * knobs (cmdOpt, syncElision) apply in benchOne instead.
+ */
+void
+applyKnobs(Workload &w, const Knobs &k)
+{
+    for (Phase &p : w.phases) {
+        if (!k.memo)
+            p.sameTdfgEachIter = false; // Defeat memoization: re-lower.
+        if (k.egraph && p.buildTdfg) {
+            auto build = p.buildTdfg;
+            p.buildTdfg = [build](std::uint64_t it) {
+                TdfgGraph g = build(it);
+                TdfgOptimizer opt;
+                if (auto res = opt.tryOptimize(g))
+                    return std::move(res->graph);
+                return g; // Saturation budget blown: keep the raw graph.
+            };
+        }
+    }
+}
 
 /** Lower median of a non-empty sample (deterministic for even sizes). */
 double
@@ -90,14 +142,17 @@ constexpr std::int64_t kJobVolumeCap = 1 << 18;
  */
 Row
 benchOne(const BenchScenario &sc, bool quick, unsigned threads,
-         unsigned repeat, ExecBackendKind backend)
+         unsigned repeat, ExecBackendKind backend, const Knobs &knobs = {})
 {
     // Full runtime behavior: preparation, JIT, Eq. 2 adaptivity all
     // included (assumeTransposed stays at the factory default).
     Workload w = quick ? sc.quick() : sc.full();
+    applyKnobs(w, knobs);
     SystemConfig cfg = testSystemConfig();
     cfg.hostThreads = threads;
     cfg.backend = backend;
+    cfg.cmdOpt = knobs.cmdOpt;
+    cfg.cmdOptSyncElision = knobs.syncElision;
 
     Row row;
     row.name = sc.name;
@@ -116,8 +171,8 @@ benchOne(const BenchScenario &sc, bool quick, unsigned threads,
         // inputs (bit-accurate when the backend produces bits).
         BackendResult br;
         double backend_ms = 0.0;
-        if (auto job = planPrimaryJob(w, cfg, &sys.pool(),
-                                      kJobVolumeCap)) {
+        auto job = planPrimaryJob(w, cfg, &sys.pool(), kJobVolumeCap);
+        if (job) {
             auto bt0 = std::chrono::steady_clock::now();
             auto be = makeBackend(backend, cfg);
             be->setThreadPool(&sys.pool());
@@ -134,6 +189,19 @@ benchOne(const BenchScenario &sc, bool quick, unsigned threads,
             for (double v : st.nocHopBytes)
                 row.nocHopBytes += v;
             row.checksum = br.checksum;
+            // Command-optimizer observability: the executor run's
+            // counters plus the job program's own, and a command-level
+            // cycle replay of the job (backend-independent, so the
+            // cmdopt effect on the stream is visible even when the
+            // executor routes the scenario off the fabric).
+            row.cmd = sys.jit().stats().cmd;
+            if (job) {
+                row.cmd.accumulate(job->prog->opt);
+                row.commands =
+                    static_cast<unsigned>(job->prog->commands.size());
+                row.jobSimCycles = static_cast<std::uint64_t>(
+                    replayTiming(cfg, *job, &sys.pool()).simCycles);
+            }
             continue;
         }
         if (br.checksum != row.checksum ||
@@ -181,15 +249,32 @@ benchOne(const BenchScenario &sc, bool quick, unsigned threads,
 }
 
 void
+writeCmdStats(std::FILE *f, const char *indent, const CmdStats &c,
+              bool trailing_comma)
+{
+    std::fprintf(f,
+                 "%s\"cmd_stats\": {\"fused_moves\": %u, "
+                 "\"deduped_broadcasts\": %u, \"deduped_commands\": %u, "
+                 "\"hoisted_masks\": %u, \"elided_syncs\": %u, "
+                 "\"bailouts\": %u}%s\n",
+                 indent, c.fusedMoves, c.dedupedBroadcasts,
+                 c.dedupedCommands, c.hoistedMasks, c.elidedSyncs,
+                 c.bailouts, trailing_comma ? "," : "");
+}
+
+void
 writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
-          unsigned threads, unsigned repeat, ExecBackendKind backend)
+          unsigned threads, unsigned repeat, ExecBackendKind backend,
+          const Knobs &knobs)
 {
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"infs-bench-v3\",\n");
+    std::fprintf(f, "  \"schema\": \"infs-bench-v4\",\n");
     std::fprintf(f, "  \"backend\": \"%s\",\n", backendName(backend));
     std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"repeat\": %u,\n", repeat);
+    std::fprintf(f, "  \"cmdopt\": %s,\n",
+                 knobs.cmdOpt ? "true" : "false");
     std::fprintf(f, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
@@ -209,6 +294,10 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
                      static_cast<unsigned long long>(r.simCycles));
         std::fprintf(f, "      \"backend_sim_cycles\": %llu,\n",
                      static_cast<unsigned long long>(r.backendSimCycles));
+        std::fprintf(f, "      \"job_sim_cycles\": %llu,\n",
+                     static_cast<unsigned long long>(r.jobSimCycles));
+        std::fprintf(f, "      \"commands\": %u,\n", r.commands);
+        writeCmdStats(f, "      ", r.cmd, true);
         std::fprintf(f, "      \"jit_ticks\": %llu,\n",
                      static_cast<unsigned long long>(r.jitTicks));
         std::fprintf(f, "      \"noc_hop_bytes\": %.1f,\n", r.nocHopBytes);
@@ -229,6 +318,33 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
                      static_cast<unsigned long long>(
                          r.fabric.maskCacheMisses));
         std::fprintf(f, "      },\n");
+        if (!r.ablation.empty()) {
+            std::fprintf(f, "      \"ablation\": [\n");
+            for (std::size_t a = 0; a < r.ablation.size(); ++a) {
+                const AblationRow &ab = r.ablation[a];
+                std::fprintf(f, "        {\n");
+                std::fprintf(f, "          \"variant\": \"%s\",\n",
+                             ab.variant.c_str());
+                std::fprintf(
+                    f, "          \"sim_cycles\": %llu,\n",
+                    static_cast<unsigned long long>(ab.simCycles));
+                std::fprintf(
+                    f, "          \"job_sim_cycles\": %llu,\n",
+                    static_cast<unsigned long long>(ab.jobSimCycles));
+                std::fprintf(
+                    f, "          \"jit_ticks\": %llu,\n",
+                    static_cast<unsigned long long>(ab.jitTicks));
+                std::fprintf(f, "          \"commands\": %u,\n",
+                             ab.commands);
+                std::fprintf(
+                    f, "          \"checksum\": \"0x%016llx\",\n",
+                    static_cast<unsigned long long>(ab.checksum));
+                writeCmdStats(f, "          ", ab.cmd, false);
+                std::fprintf(f, "        }%s\n",
+                             a + 1 < r.ablation.size() ? "," : "");
+            }
+            std::fprintf(f, "      ],\n");
+        }
         std::fprintf(f, "      \"speedup_vs_1t\": %.3f\n", r.speedup);
         std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
     }
@@ -242,9 +358,16 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--quick|--full] [--backend fabric|functional|timing]\n"
         "       [--threads N] [--repeat N] [--json out.json]\n"
-        "       [--list-scenarios] [workload...]\n"
+        "       [--no-cmdopt] [--ablate] [--list-scenarios] "
+        "[workload...]\n"
         "Benchmark the seed workloads; default --quick over the whole "
         "registry.\n"
+        "--no-cmdopt disables the lowered-command optimizer "
+        "(SystemConfig::cmdOpt).\n"
+        "--ablate adds per-scenario rows for the optimization stack "
+        "(cmdopt,\n"
+        "  sync elision, JIT memoization off; e-graph on) to the JSON "
+        "output.\n"
         "--backend selects the execution backend for the per-scenario job "
         "pass\n"
         "  (default fabric; functional is bit-identical and faster, "
@@ -267,6 +390,8 @@ main(int argc, char **argv)
     bool quick = true;
     unsigned threads = 0;
     unsigned repeat = 3;
+    bool ablate = false;
+    Knobs knobs;
     ExecBackendKind backend = ExecBackendKind::Fabric;
     std::string json_path;
     std::vector<std::string> names;
@@ -276,6 +401,10 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--full") {
             quick = false;
+        } else if (arg == "--no-cmdopt") {
+            knobs.cmdOpt = false;
+        } else if (arg == "--ablate") {
+            ablate = true;
         } else if (arg == "--backend" && i + 1 < argc) {
             const std::string name = argv[++i];
             if (!parseBackendName(name, backend)) {
@@ -320,13 +449,46 @@ main(int argc, char **argv)
         if (!names.empty() &&
             std::find(names.begin(), names.end(), sc.name) == names.end())
             continue;
-        Row row = benchOne(sc, quick, threads, repeat, backend);
+        Row row = benchOne(sc, quick, threads, repeat, backend, knobs);
         if (threads != 1) {
             // Wall-clock baseline for the speedup column; simulated
             // results are identical by construction.
-            Row base = benchOne(sc, quick, 1, repeat, backend);
+            Row base = benchOne(sc, quick, 1, repeat, backend, knobs);
             if (row.wallMs > 0.0)
                 row.speedup = base.wallMs / row.wallMs;
+        }
+        if (ablate) {
+            // The deterministic signals of each optimization-stack
+            // variant, one untimed repeat each. "base" restates the main
+            // row so a consumer can diff within the array alone.
+            struct Variant {
+                const char *name;
+                Knobs k;
+            };
+            Knobs base = knobs;
+            Knobs no_cmdopt = knobs, no_elision = knobs, no_memo = knobs,
+                  egraph_on = knobs;
+            no_cmdopt.cmdOpt = false;
+            no_elision.syncElision = false;
+            no_memo.memo = false;
+            egraph_on.egraph = true;
+            const Variant variants[] = {{"base", base},
+                                        {"cmdopt_off", no_cmdopt},
+                                        {"sync_elision_off", no_elision},
+                                        {"memo_off", no_memo},
+                                        {"egraph_on", egraph_on}};
+            for (const Variant &v : variants) {
+                Row r = benchOne(sc, quick, threads, 1, backend, v.k);
+                AblationRow ab;
+                ab.variant = v.name;
+                ab.simCycles = r.simCycles;
+                ab.jobSimCycles = r.jobSimCycles;
+                ab.jitTicks = r.jitTicks;
+                ab.checksum = r.checksum;
+                ab.commands = r.commands;
+                ab.cmd = r.cmd;
+                row.ablation.push_back(std::move(ab));
+            }
         }
         std::printf("%-18s wall %8.2f ms  (exec %7.2f + backend %7.2f)  "
                     "cycles %12llu  jit %8llu  speedup %5.2fx\n",
@@ -345,7 +507,7 @@ main(int argc, char **argv)
                          json_path.c_str());
             return 2;
         }
-        writeJson(f, rows, quick, threads, repeat, backend);
+        writeJson(f, rows, quick, threads, repeat, backend, knobs);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }

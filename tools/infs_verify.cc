@@ -26,6 +26,7 @@
 #include "core/backend.hh"
 #include "core/executor.hh"
 #include "egraph/egraph.hh"
+#include "jit/cmdopt.hh"
 #include "jit/jit.hh"
 #include "mem/address_map.hh"
 #include "workloads/registry.hh"
@@ -40,10 +41,15 @@ using namespace infs;
  * choose. Returns the number of diagnostics reported.
  */
 std::size_t
-verifyWorkload(const Workload &w, VerifyLevel level, bool verbose)
+verifyWorkload(const Workload &w, VerifyLevel level, bool verbose,
+               bool check_cmdopt)
 {
     SystemConfig cfg = testSystemConfig();
     cfg.verifyLevel = level;
+    // Lower the raw stream here; the command optimizer's output is
+    // verified explicitly below so any diagnostic it introduces is
+    // attributed to the optimizer, not to lowering.
+    cfg.cmdOpt = false;
     std::size_t n_diags = 0;
     auto report = [&](const VerifyReport &rep, const std::string &subject) {
         if (rep.clean()) {
@@ -147,6 +153,15 @@ verifyWorkload(const Workload &w, VerifyLevel level, bool verbose)
         }
         report(verifyCommands(**prog_or, *use_layout, map, cfg),
                "phase '" + p.name + "' commands");
+
+        // The optimizer must preserve hazard-freedom: rerun the full
+        // analyzer over the optimized form of the same stream.
+        if (check_cmdopt) {
+            InMemProgram opt_prog = **prog_or;
+            optimizeCommands(opt_prog, *use_layout, map, cfg);
+            report(verifyCommands(opt_prog, *use_layout, map, cfg),
+                   "phase '" + p.name + "' optimized commands");
+        }
     }
     return n_diags;
 }
@@ -187,9 +202,13 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--list] [--level=graphs|full] "
         "[--backend=fabric|functional|timing]\n"
-        "       [--verbose] [--all | workload...]\n"
+        "       [--no-cmdopt] [--verbose] [--all | workload...]\n"
         "Verify seed workloads with the static-analysis suite "
         "(DESIGN.md §9).\n"
+        "At level full each lowered stream is verified twice: raw, and "
+        "again after\n"
+        "  the command optimizer (DESIGN.md §13); --no-cmdopt skips the "
+        "second pass.\n"
         "--backend additionally executes each workload's primary lowered "
         "job on\n"
         "  the named execution backend and prints its checksum/cycles.\n",
@@ -205,6 +224,7 @@ main(int argc, char **argv)
     VerifyLevel level = VerifyLevel::Full;
     bool verbose = false;
     bool all = false;
+    bool check_cmdopt = true;
     bool run_backend = false;
     ExecBackendKind backend = ExecBackendKind::Fabric;
     std::vector<std::string> names;
@@ -226,6 +246,8 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             }
             run_backend = true;
+        } else if (arg == "--no-cmdopt") {
+            check_cmdopt = false;
         } else if (arg == "--verbose" || arg == "-v") {
             verbose = true;
         } else if (arg == "--all") {
@@ -262,7 +284,7 @@ main(int argc, char **argv)
         ++run;
         std::printf("%s:\n", sc.name);
         Workload w = sc.quick();
-        std::size_t n = verifyWorkload(w, level, verbose);
+        std::size_t n = verifyWorkload(w, level, verbose, check_cmdopt);
         if (run_backend)
             runBackendPass(w, backend);
         std::printf("  %zu diagnostic%s\n", n, n == 1 ? "" : "s");
