@@ -86,6 +86,16 @@ class BenchDiffTest(unittest.TestCase):
             schema="infs-bench-v4")
         self.assertEqual(self.run_diff(data, data).returncode, 0)
 
+    def test_v5_schema_accepted(self):
+        data = bench_file(
+            [row("vec_add", schedule_id=1, schedule_candidates=3,
+                 fabric_breakdown={"scratch_allocs": 12,
+                                   "bank_occupancy_imbalance": 0.25})],
+            schema="infs-bench-v5")
+        data["simd_isa"] = "avx2"
+        data["numa_nodes"] = 2
+        self.assertEqual(self.run_diff(data, data).returncode, 0)
+
     def test_v2_baseline_vs_v3_current_mix(self):
         # Upgrading the bench tool must not invalidate old baselines.
         base = bench_file([row("vec_add")], schema="infs-bench-v2",
@@ -241,6 +251,58 @@ class BenchDiffTest(unittest.TestCase):
         data = bench_file([row("vec_add")])
         res = self.run_diff(data, data, "--min-improve", "10",
                             "--min-improve-count", "0")
+        self.assertEqual(res.returncode, 2)
+
+    # ---- improvement gate on fabric_wall_ms (host-perf claims) -------
+
+    def test_min_improve_fabric_wall_met_passes(self):
+        # A 2x host speedup of the fabric passes (sim_cycles unchanged:
+        # SIMD kernels must never move simulated time).
+        base = bench_file([row("vec_add", fabric_wall_ms=100.0)],
+                          schema="infs-bench-v5")
+        cur = bench_file([row("vec_add", fabric_wall_ms=40.0)],
+                         schema="infs-bench-v5")
+        res = self.run_diff(base, cur, "--min-improve", "50",
+                            "--min-improve-metric", "fabric_wall_ms")
+        self.assertEqual(res.returncode, 0)
+        self.assertIn("fabric_wall_ms", res.stdout)
+
+    def test_min_improve_fabric_wall_unmet_fails(self):
+        base = bench_file([row("vec_add", fabric_wall_ms=100.0)],
+                          schema="infs-bench-v5")
+        cur = bench_file([row("vec_add", fabric_wall_ms=80.0)],  # -20%
+                         schema="infs-bench-v5")
+        res = self.run_diff(base, cur, "--min-improve", "50",
+                            "--min-improve-metric", "fabric_wall_ms")
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("improvement gate", res.stderr)
+
+    def test_min_improve_fabric_wall_missing_rows_skipped(self):
+        # Rows without a positive fabric_wall_ms (e.g. the timing
+        # backend ran no fabric pass) never count as improved.
+        base = bench_file([row("a", fabric_wall_ms=0.0),
+                           row("b")],
+                          schema="infs-bench-v5")
+        cur = bench_file([row("a", fabric_wall_ms=0.0),
+                          row("b")],
+                         schema="infs-bench-v5")
+        res = self.run_diff(base, cur, "--min-improve", "50",
+                            "--min-improve-metric", "fabric_wall_ms")
+        self.assertEqual(res.returncode, 1)
+
+    def test_min_improve_metric_default_is_sim_cycles(self):
+        # fabric_wall_ms noise must not satisfy the default gate.
+        base = bench_file([row("vec_add", sim_cycles=1000,
+                               fabric_wall_ms=100.0)])
+        cur = bench_file([row("vec_add", sim_cycles=1000,
+                              fabric_wall_ms=10.0)])
+        res = self.run_diff(base, cur, "--min-improve", "50")
+        self.assertEqual(res.returncode, 1)
+
+    def test_min_improve_bad_metric_rejected(self):
+        data = bench_file([row("vec_add")])
+        res = self.run_diff(data, data, "--min-improve", "10",
+                            "--min-improve-metric", "wall_ms")
         self.assertEqual(res.returncode, 2)
 
 

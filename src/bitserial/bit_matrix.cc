@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "bitserial/simd.hh"
+
 namespace infs {
 
 void
@@ -115,8 +117,7 @@ BitRow::andInto(const BitRow &o)
 {
     infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
                 o.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] &= o.words_[i];
+    simd::active().rowAnd(words_.data(), o.words_.data(), words_.size());
 }
 
 void
@@ -124,8 +125,7 @@ BitRow::xorInto(const BitRow &o)
 {
     infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
                 o.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] ^= o.words_[i];
+    simd::active().rowXor(words_.data(), o.words_.data(), words_.size());
 }
 
 void
@@ -133,8 +133,7 @@ BitRow::orInto(const BitRow &o)
 {
     infs_assert(bits_ == o.bits_, "row width mismatch %u vs %u", bits_,
                 o.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] |= o.words_[i];
+    simd::active().rowOr(words_.data(), o.words_.data(), words_.size());
 }
 
 void
@@ -142,8 +141,8 @@ BitRow::notAndInto(const BitRow &a, const BitRow &m)
 {
     infs_assert(bits_ == a.bits_ && bits_ == m.bits_,
                 "row width mismatch %u vs %u/%u", bits_, a.bits_, m.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] = ~a.words_[i] & m.words_[i];
+    simd::active().rowNotAnd(words_.data(), a.words_.data(),
+                             m.words_.data(), words_.size());
     maskTail();
 }
 
@@ -152,8 +151,8 @@ BitRow::assignAnd(const BitRow &a, const BitRow &b)
 {
     infs_assert(bits_ == a.bits_ && bits_ == b.bits_,
                 "row width mismatch %u vs %u/%u", bits_, a.bits_, b.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] = a.words_[i] & b.words_[i];
+    simd::active().rowAssignAnd(words_.data(), a.words_.data(),
+                                b.words_.data(), words_.size());
 }
 
 void
@@ -161,10 +160,8 @@ BitRow::majInto(const BitRow &a, const BitRow &b)
 {
     infs_assert(bits_ == a.bits_ && bits_ == b.bits_,
                 "row width mismatch %u vs %u/%u", bits_, a.bits_, b.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        const std::uint64_t aw = a.words_[i], bw = b.words_[i];
-        words_[i] = (aw & bw) | (words_[i] & (aw ^ bw));
-    }
+    simd::active().rowMaj(words_.data(), a.words_.data(), b.words_.data(),
+                          words_.size());
 }
 
 void
@@ -173,14 +170,8 @@ BitRow::fullAdderInto(const BitRow &addend, BitRow &carry)
     infs_assert(bits_ == addend.bits_ && bits_ == carry.bits_,
                 "row width mismatch %u vs %u/%u", bits_, addend.bits_,
                 carry.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        const std::uint64_t aw = words_[i];
-        const std::uint64_t bw = addend.words_[i];
-        const std::uint64_t cw = carry.words_[i];
-        const std::uint64_t axb = aw ^ bw;
-        words_[i] = axb ^ cw;
-        carry.words_[i] = (aw & bw) | (cw & axb);
-    }
+    simd::active().rowFullAdder(words_.data(), addend.words_.data(),
+                                carry.words_.data(), words_.size());
 }
 
 void
@@ -189,10 +180,9 @@ BitRow::assignSelect(const BitRow &a, const BitRow &b, const BitRow &pred)
     infs_assert(bits_ == a.bits_ && bits_ == b.bits_ &&
                     bits_ == pred.bits_,
                 "row width mismatch in select (%u bits)", bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        const std::uint64_t p = pred.words_[i];
-        words_[i] = (a.words_[i] & p) | (b.words_[i] & ~p);
-    }
+    simd::active().rowSelect(words_.data(), a.words_.data(),
+                             b.words_.data(), pred.words_.data(),
+                             words_.size());
     maskTail();
 }
 
@@ -296,10 +286,8 @@ BitRow::mergeMasked(const BitRow &value, const BitRow &mask)
     infs_assert(bits_ == value.bits_ && bits_ == mask.bits_,
                 "row width mismatch %u vs %u/%u", bits_, value.bits_,
                 mask.bits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        const std::uint64_t m = mask.words_[i];
-        words_[i] = (words_[i] & ~m) | (value.words_[i] & m);
-    }
+    simd::active().rowMergeMasked(words_.data(), value.words_.data(),
+                                  mask.words_.data(), words_.size());
 }
 
 BitRow

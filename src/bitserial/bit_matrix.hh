@@ -136,6 +136,18 @@ class BitRow
     /** this = (this & ~mask) | (value & mask) — the predicated write. */
     void mergeMasked(const BitRow &value, const BitRow &mask);
 
+    /**
+     * Word-granular predicated merge for the blocked fp path (DESIGN.md
+     * §14): words()[wi] = (words()[wi] & ~mask) | (val & mask).
+     */
+    void
+    mergeWordMasked(unsigned wi, std::uint64_t val, std::uint64_t mask)
+    {
+        infs_assert(wi < words_.size(), "word %u out of %zu", wi,
+                    words_.size());
+        words_[wi] = (words_[wi] & ~mask) | (val & mask);
+    }
+
     bool operator==(const BitRow &o) const
     {
         return bits_ == o.bits_ && words_ == o.words_;

@@ -137,4 +137,35 @@ replayTiming(const SystemConfig &cfg, const BackendJob &job,
     return out;
 }
 
+unsigned
+chooseSchedule(const std::vector<ScheduleCandidate> &candidates,
+               const FabricStats &observed)
+{
+    infs_assert(!candidates.empty(), "no schedule candidates");
+    // Imbalance sensitivity: beta = 0.25 means a fully serialized
+    // occupancy history (I = 1) penalizes a half-tile-count schedule by
+    // 25% of its replayed makespan.
+    constexpr double beta = 0.25;
+    const double imb = observed.occupancyImbalance();
+    std::int64_t max_tiles = 1;
+    for (const ScheduleCandidate &c : candidates)
+        max_tiles = std::max(max_tiles, c.layout.numTiles());
+    unsigned best = 0;
+    double best_cost = 0.0;
+    for (unsigned i = 0; i < candidates.size(); ++i) {
+        const ScheduleCandidate &c = candidates[i];
+        const double spread = static_cast<double>(max_tiles) /
+                              static_cast<double>(
+                                  std::max<std::int64_t>(
+                                      c.layout.numTiles(), 1));
+        const double cost = static_cast<double>(c.replayCycles) *
+                            (1.0 + beta * imb * (spread - 1.0));
+        if (i == 0 || cost < best_cost) {
+            best = i;
+            best_cost = cost;
+        }
+    }
+    return best;
+}
+
 } // namespace infs

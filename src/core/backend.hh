@@ -121,6 +121,33 @@ struct TimingReplayResult {
 TimingReplayResult replayTiming(const SystemConfig &cfg,
                                 const BackendJob &job, ThreadPool *pool);
 
+/**
+ * One fat-binary schedule candidate: a lowered program for one candidate
+ * tile layout plus its predicted cycle-replay makespan (DESIGN.md §14).
+ */
+struct ScheduleCandidate {
+    TiledLayout layout;
+    std::shared_ptr<const InMemProgram> prog;
+    Tick replayCycles = 0;
+};
+
+/**
+ * Dispatch-time fat-binary selection (DESIGN.md §14): pick the candidate
+ * minimizing the Eq. 2-style cost
+ *
+ *     cost_c = R_c * (1 + beta * I * (G / g_c - 1))
+ *
+ * where R_c is the candidate's replayed makespan, I the observed bank
+ * occupancy imbalance (FabricStats::occupancyImbalance — a deterministic
+ * function of the command stream, never wall time), g_c the candidate's
+ * tile count and G the largest tile count in the set: under imbalance,
+ * schedules that spread work over more tiles are favored. Ties resolve to
+ * the lowest index (the tiling policy's preference order), so selection
+ * is a pure function of (candidates, observed). Asserts on an empty set.
+ */
+unsigned chooseSchedule(const std::vector<ScheduleCandidate> &candidates,
+                        const FabricStats &observed);
+
 /** FNV-1a over one 32-bit word, byte by byte (the bench checksum). */
 inline std::uint64_t
 fnv1aWord(std::uint64_t h, std::uint32_t v)

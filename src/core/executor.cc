@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "analysis/verify_tdfg.hh"
+#include "bitserial/simd.hh"
 #include "tdfg/interp.hh"
 
 namespace infs {
@@ -264,6 +265,27 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
     }
     st.chosenTile = tile.tile;
 
+    // Fat-binary candidate schedules (DESIGN.md §14): when enabled, every
+    // memoized primary-layout phase lowers each candidate and the
+    // dispatcher below picks one per phase from replayed makespans and
+    // the occupancy observed so far. Candidates share the winner's
+    // reduce-dim tile size, so any pick is bit-identical. Deliberately
+    // independent of jit_enabled: steady-state runs (data transposed,
+    // commands precompiled) are exactly where a fat binary applies — the
+    // schedules were lowered ahead of time and only the dispatch-time
+    // pick remains. Only the chosen program's jitTicks are ever charged,
+    // and only when jit_enabled, so timing semantics are unchanged.
+    std::vector<TiledLayout> candLayouts;
+    if (cfg.fatBinary && w.forceTile.empty() &&
+        cfg.fatBinaryCandidates > 1) {
+        for (TileDecision &d :
+             policy.candidates(w.primaryShape, w.elemBytes, hints,
+                               cfg.fatBinaryCandidates))
+            candLayouts.emplace_back(w.primaryShape, d.tile);
+        if (candLayouts.size() <= 1)
+            candLayouts.clear();
+    }
+
     // Data preparation (§5.2) happens lazily, at the first phase that
     // actually commits to in-memory execution (small regions that Eq. 2
     // keeps near memory never pay the transposition).
@@ -311,6 +333,10 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
         std::string memoKey;   ///< Non-empty on the memoized path.
         /** Pre-lowered program (memoized path), set bank-parallel. */
         std::optional<Expected<std::shared_ptr<const InMemProgram>>> prog;
+        /** Fat-binary: one program per candidate layout, index-aligned
+         * with candLayouts (primary-layout memoized phases only). */
+        std::vector<Expected<std::shared_ptr<const InMemProgram>>>
+            candProgs;
     };
     std::vector<PhasePlan> plans;
     plans.reserve(w.phases.size());
@@ -379,10 +405,19 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             if (plan.route == Route::InMemory && !plan.memoKey.empty())
                 jobs.push_back(&plan);
         auto lowerOne = [&](PhasePlan *plan) {
-            const TiledLayout &use_layout =
-                plan->usesOwnLayout ? plan->ownLayout : layout;
-            plan->prog = sys_.jit().tryLower(plan->g0, use_layout,
-                                             sys_.map(), plan->memoKey);
+            if (!plan->usesOwnLayout && !candLayouts.empty()) {
+                plan->candProgs = sys_.jit().lowerCandidates(
+                    plan->g0, candLayouts, sys_.map(), plan->memoKey);
+                // Candidate 0 is the policy winner — the legacy choice —
+                // so the degradation path below is unchanged when it
+                // fails.
+                plan->prog = plan->candProgs.front();
+            } else {
+                const TiledLayout &use_layout =
+                    plan->usesOwnLayout ? plan->ownLayout : layout;
+                plan->prog = sys_.jit().tryLower(
+                    plan->g0, use_layout, sys_.map(), plan->memoKey);
+            }
         };
         ThreadPool &pool = sys_.pool();
         if (pool.inlineOnly() || jobs.size() <= 1) {
@@ -400,6 +435,11 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
     // ---- Sequential timing walk: all simulated-time, traffic, energy,
     // and fault accounting happens here, in phase order, exactly as the
     // single-thread engine did.
+
+    // Bank occupancy observed across the regions executed so far; feeds
+    // the fat-binary dispatcher of later phases (empty history means the
+    // cost reduces to the replayed makespan alone).
+    FabricStats observed;
     for (PhasePlan &plan : plans) {
         const Phase &p = *plan.phase;
         Tick phase_start = st.cycles;
@@ -468,6 +508,9 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
             st.intraTileBytes += r.intraTileBytes;
             st.interTileBytes += r.interTileBytes;
             st.interTileNocBytes += r.interTileNocBytes;
+            for (std::size_t b = 0; b < r.bankBusy.size(); ++b)
+                observed.bankOps[b % FabricStats::kBankSlots] +=
+                    static_cast<std::uint64_t>(r.bankBusy[b]);
         };
 
         if (!plan.memoKey.empty()) {
@@ -480,13 +523,46 @@ Executor::runInMemory(const Workload &w, ExecStats &st, bool fused,
                                             st.cycles - phase_start);
                 continue;
             }
-            const auto &prog = *prog_or;
+            std::shared_ptr<const InMemProgram> prog = *prog_or;
+            const TiledLayout *exec_layout = &use_layout;
+            if (!plan.candProgs.empty()) {
+                // Fat-binary dispatch (DESIGN.md §14): probe each cleanly
+                // lowered candidate's makespan on private replay models,
+                // then pick with the occupancy observed so far. Only the
+                // chosen program's JIT time is charged below — the others
+                // were lowered ahead of dispatch (that is the fat binary).
+                std::vector<ScheduleCandidate> cands;
+                std::vector<unsigned> ids;
+                for (unsigned c = 0; c < plan.candProgs.size(); ++c) {
+                    if (!plan.candProgs[c])
+                        continue; // Candidate failed to lower: drop it.
+                    ScheduleCandidate sc;
+                    sc.layout = candLayouts[c];
+                    sc.prog = *plan.candProgs[c];
+                    BackendJob job{candLayouts[c], sc.prog, primary_elems};
+                    sc.replayCycles =
+                        replayTiming(cfg, job, &sys_.pool()).simCycles;
+                    cands.push_back(std::move(sc));
+                    ids.push_back(c);
+                }
+                if (cands.size() > 1) {
+                    unsigned pick = chooseSchedule(cands, observed);
+                    prog = cands[pick].prog;
+                    exec_layout = &candLayouts[ids[pick]];
+                    if (st.scheduleId < 0) {
+                        st.scheduleId = static_cast<int>(ids[pick]);
+                        st.scheduleCandidates =
+                            static_cast<unsigned>(cands.size());
+                        st.chosenTile = exec_layout->tile();
+                    }
+                }
+            }
             if (jit_enabled) {
                 st.jitCycles += prog->jitTicks;
                 st.cycles += prog->jitTicks;
             }
             InMemExecResult r = sys_.tensorController().execute(
-                *prog, use_layout, 0, p.iterations);
+                *prog, *exec_layout, 0, p.iterations);
             if (r.failed) {
                 // The aborted attempt (including its retry time) is sunk
                 // cost; the region then reruns on the fallback path.
@@ -633,6 +709,11 @@ Executor::finalizeStats(ExecStats &st) const
     sys_.energy().charge(EnergyEvent::DramAccess,
                          static_cast<double>(st.dramBytes) / lineBytes);
     st.energyJoules = sys_.energy().totalJoules();
+
+    // Dispatch provenance (schema v5): which SIMD table the bitserial
+    // layer resolved to and how many NUMA nodes the pool pins across.
+    st.simdIsa = simd::activeIsa();
+    st.numaNodes = sys_.pool().numaNodes();
 
     // Fault and recovery totals come from the injector — the single
     // source of truth across the NoC, the controller, and the fabric.

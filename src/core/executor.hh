@@ -71,6 +71,24 @@ struct ExecStats {
      * paradigms only). */
     std::vector<Coord> chosenTile;
 
+    // Dispatch provenance (bench schema v5, DESIGN.md §14).
+    /** SIMD kernel table the bitserial layer ran with. */
+    SimdIsa simdIsa = SimdIsa::Portable;
+    /** NUMA nodes the host pool pins bank shards across (1 = none). */
+    unsigned numaNodes = 1;
+    /** Fat-binary candidate the dispatcher picked for the primary layout
+     * (index into the tiling policy's candidate list); -1 when only one
+     * schedule was lowered. */
+    int scheduleId = -1;
+    /** Candidate schedules lowered for the primary layout. */
+    unsigned scheduleCandidates = 0;
+    /** Fabric-side cache effectiveness, copied from FabricStats when a
+     * bit-accurate fabric ran this workload (bench path); 0 under the
+     * pure timing walk. */
+    std::uint64_t maskCacheHits = 0;
+    std::uint64_t maskCacheMisses = 0;
+    std::uint64_t scratchAllocs = 0;
+
     /** Fraction of element ops executed in bitlines. */
     double
     inMemOpFraction() const

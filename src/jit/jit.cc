@@ -700,6 +700,45 @@ JitCompiler::lower(const TdfgGraph &g, const TiledLayout &layout,
     return *res;
 }
 
+std::vector<Expected<std::shared_ptr<const InMemProgram>>>
+JitCompiler::lowerCandidates(const TdfgGraph &g,
+                             const std::vector<TiledLayout> &layouts,
+                             const AddressMap &map,
+                             const std::string &memo_key)
+{
+    using ProgOr = Expected<std::shared_ptr<const InMemProgram>>;
+    auto candKey = [&](const TiledLayout &layout) {
+        if (memo_key.empty())
+            return std::string();
+        std::string sig;
+        for (Coord t : layout.tile()) {
+            if (!sig.empty())
+                sig += 'x';
+            sig += std::to_string(t);
+        }
+        return memo_key + "@" + sig;
+    };
+    std::vector<std::optional<ProgOr>> out(layouts.size());
+    auto one = [&](std::size_t c) {
+        out[c] = tryLower(g, layouts[c], map, candKey(layouts[c]));
+    };
+    if (pool_ == nullptr || pool_->inlineOnly() || layouts.size() <= 1) {
+        for (std::size_t c = 0; c < layouts.size(); ++c)
+            one(c);
+    } else {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(layouts.size());
+        for (std::size_t c = 0; c < layouts.size(); ++c)
+            tasks.push_back([&one, c] { one(c); });
+        pool_->runTasks(std::move(tasks));
+    }
+    std::vector<ProgOr> res;
+    res.reserve(out.size());
+    for (auto &o : out)
+        res.push_back(std::move(*o));
+    return res;
+}
+
 OffloadDecision
 decideOffload(const TdfgSummary &summary, const SystemConfig &cfg,
               bool jit_precompiled)

@@ -81,6 +81,19 @@ class JitCompiler
     lower(const TdfgGraph &g, const TiledLayout &layout,
           const AddressMap &map, const std::string &memo_key = "");
 
+    /**
+     * Fat-binary lowering (DESIGN.md §14): lower @p g once per candidate
+     * layout, returning one program (or diagnostic) per layout in order.
+     * Each candidate memoizes under `memo_key + "@" + <tile signature>`
+     * so repeated regions hit the cache per schedule, and the executor
+     * can pick any of them at dispatch time. Candidates fan out across
+     * the attached pool; results are identical for any pool size.
+     */
+    std::vector<Expected<std::shared_ptr<const InMemProgram>>>
+    lowerCandidates(const TdfgGraph &g,
+                    const std::vector<TiledLayout> &layouts,
+                    const AddressMap &map, const std::string &memo_key);
+
     /** Snapshot of the accumulated statistics (mutex-consistent). */
     JitStats stats() const
     {

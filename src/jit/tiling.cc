@@ -340,4 +340,43 @@ TilingPolicy::choose(const std::vector<Coord> &shape, unsigned elem_bytes,
     return best;
 }
 
+std::vector<TileDecision>
+TilingPolicy::candidates(const std::vector<Coord> &shape,
+                         unsigned elem_bytes, const LayoutHints &hints,
+                         unsigned max_n) const
+{
+    std::vector<TileDecision> out;
+    if (max_n == 0)
+        return out;
+    std::vector<TileDecision> all;
+    for (const auto &tile : validTiles(shape, elem_bytes)) {
+        TileDecision d;
+        d.valid = true;
+        d.tile = tile;
+        d.score = score(tile, shape, hints);
+        all.push_back(std::move(d));
+    }
+    if (all.empty())
+        return out;
+    // Stable sort keeps enumeration order among equal scores, so
+    // candidates[0] is exactly the choose() winner (choose keeps the
+    // earliest tile on ties via its strict `>` comparison).
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TileDecision &a, const TileDecision &b) {
+                         return a.score > b.score;
+                     });
+    const unsigned dims = static_cast<unsigned>(shape.size());
+    const bool pin_reduce = hints.reduceDim && *hints.reduceDim < dims;
+    const Coord reduce_tile =
+        pin_reduce ? all.front().tile[*hints.reduceDim] : 0;
+    for (TileDecision &d : all) {
+        if (pin_reduce && d.tile[*hints.reduceDim] != reduce_tile)
+            continue;
+        out.push_back(std::move(d));
+        if (out.size() == max_n)
+            break;
+    }
+    return out;
+}
+
 } // namespace infs

@@ -136,6 +136,21 @@ class TilingPolicy
                  const std::vector<Coord> &shape,
                  const LayoutHints &hints) const;
 
+    /**
+     * Fat-binary candidate set (DESIGN.md §14): the choose() winner first,
+     * then the next-best-scoring valid tiles, capped at @p max_n. When the
+     * hints name a reduced dimension, every candidate shares the winner's
+     * tile size on that dimension — the in-memory reduction tree's shape
+     * (and therefore the non-associative fp sum order) is a function of
+     * tileSize(reduceDim), so pinning it keeps all candidates bit-identical
+     * and the dispatcher free to pick any of them. Deterministic: ties
+     * resolve by validTiles() enumeration order. Empty when the shape is
+     * untileable.
+     */
+    std::vector<TileDecision>
+    candidates(const std::vector<Coord> &shape, unsigned elem_bytes,
+               const LayoutHints &hints, unsigned max_n) const;
+
   private:
     L3Config l3_;
 };

@@ -55,6 +55,38 @@ parseBackendName(const std::string &name, ExecBackendKind &out)
     return true;
 }
 
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::Auto: return "auto";
+      case SimdIsa::Off: return "off";
+      case SimdIsa::Portable: return "portable";
+      case SimdIsa::Avx2: return "avx2";
+      case SimdIsa::Neon: return "neon";
+    }
+    return "?";
+}
+
+bool
+parseSimdIsaName(const std::string &name, SimdIsa &out)
+{
+    if (name == "auto") {
+        out = SimdIsa::Auto;
+    } else if (name == "off") {
+        out = SimdIsa::Off;
+    } else if (name == "portable") {
+        out = SimdIsa::Portable;
+    } else if (name == "avx2") {
+        out = SimdIsa::Avx2;
+    } else if (name == "neon") {
+        out = SimdIsa::Neon;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 SystemConfig
 defaultSystemConfig()
 {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstring>
 #include <unordered_map>
 
+#include "bitserial/simd.hh"
 #include "sim/fault.hh"
 #include "tdfg/interp.hh"
 
@@ -34,6 +36,13 @@ BitAccurateFabric::stats() const
     }
     s.maskCacheHits = maskHits_.load(std::memory_order_relaxed);
     s.maskCacheMisses = maskMisses_.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < s.bankOps.size(); ++b)
+        s.bankOps[b] = bankOps_[b].load(std::memory_order_relaxed);
+    std::uint64_t scratch = 0;
+    for (const auto &t : tiles_)
+        if (t)
+            scratch += t->scratchAllocs();
+    s.scratchAllocs = scratch - scratchBase_;
     return s;
 }
 
@@ -46,6 +55,12 @@ BitAccurateFabric::resetStats()
     }
     maskHits_.store(0, std::memory_order_relaxed);
     maskMisses_.store(0, std::memory_order_relaxed);
+    for (auto &b : bankOps_)
+        b.store(0, std::memory_order_relaxed);
+    scratchBase_ = 0;
+    for (const auto &t : tiles_)
+        if (t)
+            scratchBase_ += t->scratchAllocs();
 }
 
 ComputeSram &
@@ -62,14 +77,32 @@ BitAccurateFabric::tile(std::int64_t t)
 void
 BitAccurateFabric::ensureTiles(const std::vector<std::int64_t> &tiles)
 {
-    for (std::int64_t t : tiles)
-        tile(t);
+    // Allocate through the pool when one is attached: with NUMA pinning
+    // active, the worker that first touches a tile's SRAM pages is the
+    // same worker forEachTile's deterministic chunking later hands that
+    // tile to, so bank shards stay node-local (DESIGN.md §14). Callers
+    // pass unique tile ids, and tiles_ is pre-sized, so concurrent slot
+    // writes are disjoint.
+    if (pool_ != nullptr && !pool_->inlineOnly() && tiles.size() > 1) {
+        pool_->parallelFor(static_cast<std::int64_t>(tiles.size()),
+                           [&](std::int64_t i) {
+                               tile(tiles[static_cast<std::size_t>(i)]);
+                           });
+    } else {
+        for (std::int64_t t : tiles)
+            tile(t);
+    }
 }
 
 void
 BitAccurateFabric::forEachTile(const std::vector<std::int64_t> &tiles,
                                const std::function<void(std::int64_t)> &fn)
 {
+    // Occupancy accounting: one work unit per tile visit, folded into
+    // bank groups by tile index. Pure function of the command stream.
+    for (std::int64_t t : tiles)
+        bankOps_[static_cast<std::size_t>(t) % FabricStats::kBankSlots]
+            .fetch_add(1, std::memory_order_relaxed);
     if (pool_ != nullptr && !pool_->inlineOnly() && tiles.size() > 1) {
         pool_->parallelFor(static_cast<std::int64_t>(tiles.size()),
                            [&](std::int64_t i) {
@@ -115,6 +148,8 @@ BitAccurateFabric::loadArray(std::span<const float> data, unsigned wl)
     std::vector<Coord> pt(nd, 0), cell(nd, 0);
     std::size_t i = 0;
     std::array<std::uint64_t, 32> words;
+    std::array<std::uint32_t, 64> lanes;
+    const simd::SimdKernels &k = simd::active();
     for (;;) {
         std::int64_t outer = 0;
         for (unsigned d = 1; d < nd; ++d)
@@ -130,13 +165,11 @@ BitAccurateFabric::loadArray(std::span<const float> data, unsigned wl)
             while (c < run_end) {
                 const unsigned clen = static_cast<unsigned>(
                     std::min<Coord>(run_end - c, 64));
-                words.fill(0);
-                for (unsigned e = 0; e < clen; ++e) {
-                    const std::uint32_t v =
-                        std::bit_cast<std::uint32_t>(data[i + e]);
-                    for (unsigned b = 0; b < 32; ++b)
-                        words[b] |= std::uint64_t((v >> b) & 1u) << e;
-                }
+                if (clen < 64)
+                    lanes.fill(0);
+                std::memcpy(lanes.data(), data.data() + i,
+                            clen * sizeof(float));
+                simd::lanesToPlanes(k, lanes.data(), words.data());
                 for (unsigned b = 0; b < 32; ++b)
                     bm.row(wl + b).depositFrom(&words[b], pos, clen);
                 c += clen;
@@ -178,6 +211,8 @@ BitAccurateFabric::storeArray(std::span<float> data, unsigned wl) const
     std::vector<Coord> pt(nd, 0), cell(nd, 0);
     std::size_t i = 0;
     std::array<std::uint64_t, 32> words;
+    std::array<std::uint32_t, 64> lanes;
+    const simd::SimdKernels &k = simd::active();
     for (;;) {
         std::int64_t outer = 0;
         for (unsigned d = 1; d < nd; ++d)
@@ -196,12 +231,9 @@ BitAccurateFabric::storeArray(std::span<float> data, unsigned wl) const
                     std::min<Coord>(run_end - c, 64));
                 for (unsigned b = 0; b < 32; ++b)
                     bm.row(wl + b).extractTo(&words[b], pos, clen);
-                for (unsigned e = 0; e < clen; ++e) {
-                    std::uint32_t v = 0;
-                    for (unsigned b = 0; b < 32; ++b)
-                        v |= std::uint32_t((words[b] >> e) & 1ULL) << b;
-                    data[i + e] = std::bit_cast<float>(v);
-                }
+                simd::planesToLanes(k, words.data(), lanes.data());
+                std::memcpy(data.data() + i, lanes.data(),
+                            clen * sizeof(float));
                 c += clen;
                 pos += clen;
                 i += clen;

@@ -50,6 +50,40 @@ struct FabricStats {
     std::array<Kind, 6> byKind{};
     std::uint64_t maskCacheHits = 0;
     std::uint64_t maskCacheMisses = 0;
+    /** Scratch-row pool allocations summed across tiles (steady-state
+     * programs reuse pooled rows, so this stays flat after warmup). */
+    std::uint64_t scratchAllocs = 0;
+
+    /**
+     * Deterministic per-bank-group occupancy: work units (per-tile command
+     * visits) folded into kBankSlots groups by tile index. Unlike wallMs
+     * this is a pure function of the command stream, so the fat-binary
+     * dispatcher may consume it without breaking reproducibility
+     * (DESIGN.md §14).
+     */
+    static constexpr unsigned kBankSlots = 64;
+    std::array<std::uint64_t, kBankSlots> bankOps{};
+
+    /** Occupancy imbalance over the active bank groups: max/mean - 1;
+     * 0 when balanced or when nothing executed yet. */
+    double
+    occupancyImbalance() const
+    {
+        std::uint64_t total = 0, mx = 0;
+        unsigned used = 0;
+        for (std::uint64_t v : bankOps) {
+            if (v == 0)
+                continue;
+            total += v;
+            if (v > mx)
+                mx = v;
+            ++used;
+        }
+        if (used == 0)
+            return 0.0;
+        return static_cast<double>(mx) * used / static_cast<double>(total) -
+               1.0;
+    }
 };
 
 /** One compute SRAM per tile of a tiled layout, plus command execution. */
@@ -273,6 +307,12 @@ class BitAccurateFabric
     mutable std::atomic<std::uint64_t> maskMisses_{0};
     mutable std::array<std::atomic<std::uint64_t>, 6> kindCount_{};
     mutable std::array<std::atomic<std::uint64_t>, 6> kindNanos_{};
+    /** Per-bank-group work-unit counters (FabricStats::bankOps). */
+    std::array<std::atomic<std::uint64_t>, FabricStats::kBankSlots>
+        bankOps_{};
+    /** Scratch-alloc total at the last resetStats() (snapshots report the
+     * delta; tiles never reset their own counters). */
+    std::uint64_t scratchBase_ = 0;
 };
 
 } // namespace infs

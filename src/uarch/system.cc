@@ -5,6 +5,8 @@
 
 #include "analysis/verify_cmds.hh"
 #include "analysis/verify_tdfg.hh"
+#include "bitserial/simd.hh"
+#include "sim/numa.hh"
 
 namespace infs {
 
@@ -15,6 +17,16 @@ InfinitySystem::InfinitySystem(SystemConfig cfg)
       jit_(cfg), near_(cfg_, noc_, l3_, dram_, map_, energy_),
       tc_(cfg_, noc_, map_, energy_, &fault_), ttu_(2)
 {
+    // Install the SIMD kernel table before any bitserial state is touched
+    // (process-global: the last constructed system wins, which is the
+    // single-system reality of every tool and test binary).
+    simd::setActive(cfg_.simd);
+    // On multi-node hosts, pin workers round-robin across nodes so bank
+    // shards stay local to the worker that owns them (DESIGN.md §14);
+    // single-node hosts take the legacy unpinned path.
+    if (cfg_.numaAware)
+        pool_.setNumaPinning(numaTopology().nodeCpus);
+
     jit_.setThreadPool(&pool_);
     tc_.setThreadPool(&pool_);
     if (fault_.enabled())

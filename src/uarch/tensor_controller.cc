@@ -312,6 +312,9 @@ TensorController::execute(const InMemProgram &prog,
     res.syncCycles *= repeat;
     res.retryCycles = fault_extra;
     res.cycles = maxBusy() * repeat + fault_extra;
+    res.bankBusy.resize(banks);
+    for (unsigned b = 0; b < banks; ++b)
+        res.bankBusy[b] = busy[b] * repeat;
     return res;
 }
 

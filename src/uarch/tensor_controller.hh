@@ -39,6 +39,10 @@ struct InMemExecResult {
     /** A fault persisted past the retry budget: the region's in-memory
      * attempt was abandoned and the caller must degrade it. */
     bool failed = false;
+    /** Per-bank busy ticks at region end (repeat-scaled). Deterministic —
+     * the fat-binary dispatcher folds these into its observed occupancy
+     * (DESIGN.md §14). */
+    std::vector<Tick> bankBusy;
 };
 
 /** Executes in-memory command programs against the system model. */

@@ -86,6 +86,10 @@ struct Row {
     unsigned commands = 0; ///< Job command count after optimization.
     CmdStats cmd; ///< Command-optimizer counters (exec run + job pass).
     FabricStats fabric; ///< Per-command-kind breakdown (fabric backend).
+    SimdIsa simdIsa = SimdIsa::Portable; ///< Resolved SIMD kernel table.
+    unsigned numaNodes = 1;    ///< NUMA nodes the pool pins across.
+    int scheduleId = -1;       ///< Fat-binary pick (-1 = single schedule).
+    unsigned scheduleCandidates = 0; ///< Candidates the dispatcher saw.
     std::vector<AblationRow> ablation; ///< Filled in --ablate mode.
 };
 
@@ -142,7 +146,8 @@ constexpr std::int64_t kJobVolumeCap = 1 << 18;
  */
 Row
 benchOne(const BenchScenario &sc, bool quick, unsigned threads,
-         unsigned repeat, ExecBackendKind backend, const Knobs &knobs = {})
+         unsigned repeat, ExecBackendKind backend, SimdIsa simd,
+         const Knobs &knobs = {})
 {
     // Full runtime behavior: preparation, JIT, Eq. 2 adaptivity all
     // included (assumeTransposed stays at the factory default).
@@ -151,6 +156,7 @@ benchOne(const BenchScenario &sc, bool quick, unsigned threads,
     SystemConfig cfg = testSystemConfig();
     cfg.hostThreads = threads;
     cfg.backend = backend;
+    cfg.simd = simd;
     cfg.cmdOpt = knobs.cmdOpt;
     cfg.cmdOptSyncElision = knobs.syncElision;
 
@@ -178,10 +184,19 @@ benchOne(const BenchScenario &sc, bool quick, unsigned threads,
             be->setThreadPool(&sys.pool());
             br = be->runJob(*job);
             backend_ms = msSince(bt0);
+            // The job pass's fabric-side cache counters ride along in
+            // ExecStats (schema v5); the timing walk alone has no fabric.
+            st.maskCacheHits = br.fabric.maskCacheHits;
+            st.maskCacheMisses = br.fabric.maskCacheMisses;
+            st.scratchAllocs = br.fabric.scratchAllocs;
         }
 
         if (r == 0) {
             // Warmup: record the deterministic quantities, discard time.
+            row.simdIsa = st.simdIsa;
+            row.numaNodes = st.numaNodes;
+            row.scheduleId = st.scheduleId;
+            row.scheduleCandidates = st.scheduleCandidates;
             row.simCycles = static_cast<std::uint64_t>(st.cycles);
             row.backendSimCycles =
                 static_cast<std::uint64_t>(br.simCycles);
@@ -267,9 +282,17 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
           unsigned threads, unsigned repeat, ExecBackendKind backend,
           const Knobs &knobs)
 {
+    // Host-level dispatch facts: identical across rows (one process, one
+    // resolved kernel table), so they live at the top level.
+    const SimdIsa isa =
+        rows.empty() ? SimdIsa::Portable : rows.front().simdIsa;
+    const unsigned numa_nodes =
+        rows.empty() ? 1u : rows.front().numaNodes;
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"infs-bench-v4\",\n");
+    std::fprintf(f, "  \"schema\": \"infs-bench-v5\",\n");
     std::fprintf(f, "  \"backend\": \"%s\",\n", backendName(backend));
+    std::fprintf(f, "  \"simd_isa\": \"%s\",\n", simdIsaName(isa));
+    std::fprintf(f, "  \"numa_nodes\": %u,\n", numa_nodes);
     std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"repeat\": %u,\n", repeat);
@@ -297,6 +320,9 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
         std::fprintf(f, "      \"job_sim_cycles\": %llu,\n",
                      static_cast<unsigned long long>(r.jobSimCycles));
         std::fprintf(f, "      \"commands\": %u,\n", r.commands);
+        std::fprintf(f, "      \"schedule_id\": %d,\n", r.scheduleId);
+        std::fprintf(f, "      \"schedule_candidates\": %u,\n",
+                     r.scheduleCandidates);
         writeCmdStats(f, "      ", r.cmd, true);
         std::fprintf(f, "      \"jit_ticks\": %llu,\n",
                      static_cast<unsigned long long>(r.jitTicks));
@@ -314,9 +340,14 @@ writeJson(std::FILE *f, const std::vector<Row> &rows, bool quick,
         std::fprintf(f, "        \"mask_cache_hits\": %llu,\n",
                      static_cast<unsigned long long>(
                          r.fabric.maskCacheHits));
-        std::fprintf(f, "        \"mask_cache_misses\": %llu\n",
+        std::fprintf(f, "        \"mask_cache_misses\": %llu,\n",
                      static_cast<unsigned long long>(
                          r.fabric.maskCacheMisses));
+        std::fprintf(f, "        \"scratch_allocs\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.fabric.scratchAllocs));
+        std::fprintf(f, "        \"bank_occupancy_imbalance\": %.4f\n",
+                     r.fabric.occupancyImbalance());
         std::fprintf(f, "      },\n");
         if (!r.ablation.empty()) {
             std::fprintf(f, "      \"ablation\": [\n");
@@ -357,7 +388,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--quick|--full] [--backend fabric|functional|timing]\n"
-        "       [--threads N] [--repeat N] [--json out.json]\n"
+        "       [--simd auto|off|portable|avx2|neon] [--threads N]\n"
+        "       [--repeat N] [--json out.json]\n"
         "       [--no-cmdopt] [--ablate] [--list-scenarios] "
         "[workload...]\n"
         "Benchmark the seed workloads; default --quick over the whole "
@@ -374,6 +406,11 @@ usage(const char *argv0)
         "timing is\n"
         "  cycles-only). Unknown scenario or backend names exit 2 before "
         "running.\n"
+        "--simd pins the bitserial SIMD kernel table (default auto = "
+        "detect;\n"
+        "  every value is bit-identical — off also disables the blocked "
+        "fp path).\n"
+        "  Unknown values exit 2 before running.\n"
         "--threads 0 uses all hardware threads; simulated results are "
         "identical for any value.\n"
         "--repeat N (default 3) runs N timed iterations after one "
@@ -393,6 +430,7 @@ main(int argc, char **argv)
     bool ablate = false;
     Knobs knobs;
     ExecBackendKind backend = ExecBackendKind::Fabric;
+    SimdIsa simd = SimdIsa::Auto;
     std::string json_path;
     std::vector<std::string> names;
     for (int i = 1; i < argc; ++i) {
@@ -409,6 +447,13 @@ main(int argc, char **argv)
             const std::string name = argv[++i];
             if (!parseBackendName(name, backend)) {
                 std::fprintf(stderr, "unknown backend '%s'\n",
+                             name.c_str());
+                return usage(argv[0]);
+            }
+        } else if (arg == "--simd" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (!parseSimdIsaName(name, simd)) {
+                std::fprintf(stderr, "unknown simd isa '%s'\n",
                              name.c_str());
                 return usage(argv[0]);
             }
@@ -449,11 +494,13 @@ main(int argc, char **argv)
         if (!names.empty() &&
             std::find(names.begin(), names.end(), sc.name) == names.end())
             continue;
-        Row row = benchOne(sc, quick, threads, repeat, backend, knobs);
+        Row row = benchOne(sc, quick, threads, repeat, backend, simd,
+                           knobs);
         if (threads != 1) {
             // Wall-clock baseline for the speedup column; simulated
             // results are identical by construction.
-            Row base = benchOne(sc, quick, 1, repeat, backend, knobs);
+            Row base =
+                benchOne(sc, quick, 1, repeat, backend, simd, knobs);
             if (row.wallMs > 0.0)
                 row.speedup = base.wallMs / row.wallMs;
         }
@@ -478,7 +525,8 @@ main(int argc, char **argv)
                                         {"memo_off", no_memo},
                                         {"egraph_on", egraph_on}};
             for (const Variant &v : variants) {
-                Row r = benchOne(sc, quick, threads, 1, backend, v.k);
+                Row r =
+                    benchOne(sc, quick, threads, 1, backend, simd, v.k);
                 AblationRow ab;
                 ab.variant = v.name;
                 ab.simCycles = r.simCycles;
